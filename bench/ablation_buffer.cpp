@@ -1,0 +1,51 @@
+// Ablation: shared-buffer size (§IV-A's b = LLC/2 policy).
+//
+// Sweeps the per-half block size from far-too-small (many iterations, high
+// barrier overhead, poor streaming granularity) past the policy point to
+// buffer-larger-than-LLC (the "cached" buffer spills and the load/compute
+// separation stops paying). Prints iterations per stage alongside GF/s so
+// the small-iter efficiency cliff of Fig 9's discussion is visible.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "benchutil/metrics.h"
+#include "benchutil/table.h"
+#include "pipeline/pipeline.h"
+
+using namespace bwfft;
+
+int main() {
+  int shift = 0;
+  if (const char* env = std::getenv("BWFFT_ABL_SHIFT")) shift = std::atoi(env);
+  const idx_t k = 64 << shift, n = 64 << shift, m = 64 << shift;
+  const idx_t total = k * n * m;
+
+  cvec original = random_cvec(total);
+  cvec in(original.size()), out(original.size());
+
+  FftOptions probe;
+  const idx_t policy = default_block_elems(probe.topo);
+  std::printf("Ablation: buffer size, %lld^3 (policy block = %lld elems = "
+              "LLC/4)\n\n",
+              static_cast<long long>(m), static_cast<long long>(policy));
+
+  Table table({"block elems", "KiB/half", "iters(stage1)", "GF/s"});
+  for (idx_t block = 1024; block <= policy * 4; block *= 4) {
+    FftOptions o;
+    o.block_elems = block;
+    Fft3d plan(k, n, m, Direction::Forward, o);
+    const double secs = bench::time_plan(plan, in, out, original);
+    const idx_t rows1 = k * n;  // stage 1 rows
+    const idx_t brows = std::max<idx_t>(std::min(block / m, rows1), 1);
+    table.add_row({std::to_string(block),
+                   std::to_string(block * sizeof(cplx) / 1024),
+                   std::to_string(rows1 / brows),
+                   fmt_double(fft_gflops(static_cast<double>(total), secs))});
+  }
+  table.print();
+  std::printf("\nPaper reference: b = LLC/2 total leaves room for twiddles "
+              "and temporaries; too-small b costs iterations, too-large b "
+              "evicts the very data being double-buffered.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the figure harnesses: run an engine a few times,
+// report median seconds.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "fft/fft.h"
+
+namespace bwfft::bench {
+
+/// Median wall-time of `reps` executions of a planned 3D transform.
+/// Input data is regenerated per rep from the saved original since
+/// engines clobber their input.
+template <typename Plan>
+double time_plan(Plan& plan, cvec& in, cvec& out, const cvec& original,
+                 int reps = 3) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    std::copy(original.begin(), original.end(), in.begin());
+    Timer t;
+    plan.execute(in.data(), out.data());
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace bwfft::bench

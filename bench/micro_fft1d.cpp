@@ -1,0 +1,122 @@
+// google-benchmark microbenchmarks for the 1D kernel layer: the batch and
+// lane kernels the double-buffered stages are built from, and the strided
+// in-place path the naive baseline uses.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fft1d/fft1d.h"
+#include "fft1d/fft1d_split.h"
+#include "fft1d/mixed_radix.h"
+#include "kernels/vecops.h"
+
+namespace {
+
+using namespace bwfft;
+
+void BM_BatchContig(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  const idx_t count = std::max<idx_t>((1 << 16) / n, 1);
+  Fft1d plan(n, Direction::Forward);
+  cvec data = random_cvec(n * count);
+  for (auto _ : state) {
+    plan.apply_batch(data.data(), count);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * count);
+}
+BENCHMARK(BM_BatchContig)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_LanesCacheline(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  const idx_t lanes = kMu;
+  const idx_t count = std::max<idx_t>((1 << 16) / (n * lanes), 1);
+  Fft1d plan(n, Direction::Forward);
+  cvec data = random_cvec(n * lanes * count);
+  for (auto _ : state) {
+    plan.apply_lanes(data.data(), lanes, count);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * lanes * count);
+}
+BENCHMARK(BM_LanesCacheline)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LanesScalarForced(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  const idx_t lanes = kMu;
+  const idx_t count = std::max<idx_t>((1 << 16) / (n * lanes), 1);
+  Fft1d plan(n, Direction::Forward);
+  cvec data = random_cvec(n * lanes * count);
+  set_force_scalar(true);
+  for (auto _ : state) {
+    plan.apply_lanes(data.data(), lanes, count);
+    benchmark::DoNotOptimize(data.data());
+  }
+  set_force_scalar(false);
+  state.SetItemsProcessed(state.iterations() * n * lanes * count);
+}
+BENCHMARK(BM_LanesScalarForced)->Arg(256);
+
+void BM_StridedInplace(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  const idx_t stride = state.range(1);
+  Fft1d plan(n, Direction::Forward);
+  cvec data = random_cvec(n * stride);
+  for (auto _ : state) {
+    plan.apply_strided_inplace(data.data(), stride);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StridedInplace)
+    ->Args({256, 1})
+    ->Args({256, 16})
+    ->Args({256, 256})
+    ->Args({1024, 1024});
+
+// Block-interleaved (split) compute kernel vs the interleaved one — the
+// format-change ablation of §IV-A (ref [18]). Data is pre-packed; the
+// benchmark isolates butterfly throughput.
+void BM_LanesSplitFormat(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  const idx_t lanes = kMu;
+  const idx_t count = std::max<idx_t>((1 << 16) / (n * lanes), 1);
+  SplitFft1d plan(n, Direction::Forward);
+  cvec seed = random_cvec(n * lanes * count);
+  dvec data(static_cast<std::size_t>(2 * n * lanes * count));
+  for (idx_t t = 0; t < count; ++t) {
+    SplitFft1d::pack(seed.data() + t * n * lanes,
+                     data.data() + 2 * t * n * lanes, n, lanes);
+  }
+  for (auto _ : state) {
+    plan.apply_lanes(data.data(), lanes, count);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * lanes * count);
+}
+BENCHMARK(BM_LanesSplitFormat)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MixedRadix(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  MixedRadixFft plan(n, Direction::Forward);
+  cvec data = random_cvec(n);
+  for (auto _ : state) {
+    plan.apply(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MixedRadix)->Arg(120)->Arg(1000)->Arg(3600);
+
+void BM_Bluestein(benchmark::State& state) {
+  const idx_t n = state.range(0);  // non-power-of-two
+  Fft1d plan(n, Direction::Forward);
+  cvec data = random_cvec(n);
+  for (auto _ : state) {
+    plan.apply_batch(data.data(), 1);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Bluestein)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks for the data-movement layer: streaming
+// copies, blocked transposes and cube rotations, temporal vs non-temporal.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "layout/rotate.h"
+#include "layout/stream_copy.h"
+#include "layout/transpose.h"
+
+namespace {
+
+using namespace bwfft;
+
+void BM_CopyStream(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  const bool nt = state.range(1) != 0;
+  cvec src = random_cvec(n), dst(src.size());
+  for (auto _ : state) {
+    copy_stream(dst.data(), src.data(), n, nt);
+    stream_fence();
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * static_cast<idx_t>(sizeof(cplx)));
+}
+BENCHMARK(BM_CopyStream)
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 21, 0})
+    ->Args({1 << 21, 1});
+
+void BM_TransposePackets(benchmark::State& state) {
+  const idx_t side = state.range(0);
+  const bool nt = state.range(1) != 0;
+  cvec src = random_cvec(side * side * kMu), dst(src.size());
+  for (auto _ : state) {
+    transpose_packets(src.data(), dst.data(), side, side, kMu, nt);
+    stream_fence();
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<idx_t>(src.size()) *
+                          static_cast<idx_t>(sizeof(cplx)));
+}
+BENCHMARK(BM_TransposePackets)->Args({128, 0})->Args({128, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_RotateCubePackets(benchmark::State& state) {
+  const idx_t side = state.range(0);
+  const bool nt = state.range(1) != 0;
+  const idx_t cp = side / kMu;
+  cvec src = random_cvec(side * side * cp * kMu), dst(src.size());
+  for (auto _ : state) {
+    rotate_cube_packets(src.data(), dst.data(), side, side, cp, kMu, nt);
+    stream_fence();
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<idx_t>(src.size()) *
+                          static_cast<idx_t>(sizeof(cplx)));
+}
+BENCHMARK(BM_RotateCubePackets)->Args({64, 0})->Args({64, 1})->Args({128, 0})->Args({128, 1});
+
+void BM_ElementRotation(benchmark::State& state) {
+  const idx_t side = state.range(0);
+  cvec src = random_cvec(side * side * side), dst(src.size());
+  for (auto _ : state) {
+    rotate_cube(src.data(), dst.data(), side, side, side);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<idx_t>(src.size()) *
+                          static_cast<idx_t>(sizeof(cplx)));
+}
+BENCHMARK(BM_ElementRotation)->Arg(64)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,36 @@
+// STREAM bandwidth harness ([1] in the paper).
+//
+// Prints the four kernel bandwidths for the host and the achievable-peak
+// pseudo-Gflop/s they imply for 2-stage (2D) and 3-stage (3D) FFTs — the
+// numbers every figure normalises against.
+#include <cstdio>
+
+#include "benchutil/metrics.h"
+#include "benchutil/table.h"
+#include "common/cpu.h"
+#include "stream/stream.h"
+
+using namespace bwfft;
+
+int main() {
+  std::printf("STREAM benchmark — %s\n\n", cpu_summary().c_str());
+  const std::size_t elems = (64u << 20) / sizeof(double);
+  const auto r = run_stream(elems, online_cpus());
+
+  Table table({"kernel", "GB/s"});
+  table.add_row({"Copy", fmt_double(r.copy_gbs, 1)});
+  table.add_row({"Scale", fmt_double(r.scale_gbs, 1)});
+  table.add_row({"Add", fmt_double(r.add_gbs, 1)});
+  table.add_row({"Triad", fmt_double(r.triad_gbs, 1)});
+  table.print();
+
+  const double bw = r.best();
+  std::printf("\nAchievable peak at %.1f GB/s:\n", bw);
+  for (double logn : {16.0, 21.0, 24.0}) {
+    const double n = std::pow(2.0, logn);
+    std::printf("  N=2^%.0f: 2-stage %.2f GF/s, 3-stage %.2f GF/s\n", logn,
+                achievable_peak_gflops(n, 2, bw),
+                achievable_peak_gflops(n, 3, bw));
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// FFT-based 3D circular convolution — the convolution theorem exercised
+// end to end on the public API, validated against direct summation.
+//
+// Convolves a random field with a compact kernel: out = IFFT(FFT(a) .*
+// FFT(b)) / N, then checks a handful of output points against the O(N^2)
+// direct circular convolution.
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "fft/fft.h"
+
+using namespace bwfft;
+
+int main() {
+  const idx_t N = 32;
+  const idx_t total = N * N * N;
+
+  cvec a = random_cvec(total, 1);
+  // Compact Gaussian-ish kernel around the origin (periodic).
+  cvec b(static_cast<std::size_t>(total), cplx(0, 0));
+  for (idx_t z = 0; z < 3; ++z) {
+    for (idx_t y = 0; y < 3; ++y) {
+      for (idx_t x = 0; x < 3; ++x) {
+        const double w = std::exp(-0.5 * static_cast<double>(x * x + y * y + z * z));
+        b[static_cast<std::size_t>(z * N * N + y * N + x)] = cplx(w, 0);
+      }
+    }
+  }
+
+  FftOptions opts;
+  Fft3d fwd(N, N, N, Direction::Forward, opts);
+  opts.normalize_inverse = true;
+  Fft3d inv(N, N, N, Direction::Inverse, opts);
+
+  Timer t;
+  cvec fa(static_cast<std::size_t>(total)), fb(static_cast<std::size_t>(total));
+  cvec wa = a, wb = b;
+  fwd.execute(wa.data(), fa.data());
+  fwd.execute(wb.data(), fb.data());
+  for (idx_t i = 0; i < total; ++i) {
+    fa[static_cast<std::size_t>(i)] *= fb[static_cast<std::size_t>(i)];
+  }
+  cvec conv(static_cast<std::size_t>(total));
+  inv.execute(fa.data(), conv.data());
+  const double secs = t.seconds();
+
+  // Spot-check against direct circular convolution: out[p] = sum_q a[q] b[p-q].
+  // The kernel support is 3^3, so the direct sum per point is cheap.
+  double err = 0.0;
+  for (idx_t probe : {idx_t{0}, idx_t{123}, idx_t{total / 2}, total - 1}) {
+    const idx_t pz = probe / (N * N), py = (probe / N) % N, px = probe % N;
+    cplx direct(0, 0);
+    for (idx_t z = 0; z < 3; ++z) {
+      for (idx_t y = 0; y < 3; ++y) {
+        for (idx_t x = 0; x < 3; ++x) {
+          const idx_t qz = (pz - z + N) % N, qy = (py - y + N) % N,
+                      qx = (px - x + N) % N;
+          direct += a[static_cast<std::size_t>(qz * N * N + qy * N + qx)] *
+                    b[static_cast<std::size_t>(z * N * N + y * N + x)];
+        }
+      }
+    }
+    err = std::max(err, std::abs(direct - conv[static_cast<std::size_t>(probe)]));
+  }
+
+  std::printf("3D circular convolution on %lld^3 via the convolution "
+              "theorem (%s engine)\n",
+              static_cast<long long>(N), fwd.engine_name());
+  std::printf("  3 transforms + pointwise product: %.3f ms\n", secs * 1e3);
+  std::printf("  max spot-check error vs direct convolution: %.3e\n", err);
+  return err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Spectral Poisson solver — the classic consumer of large 3D FFTs (the
+// workload class the paper's introduction motivates: fat-memory-node
+// scientific codes).
+//
+// Solves  laplacian(u) = f  on the periodic unit cube: forward-transform
+// f, divide each mode by the discrete Laplacian eigenvalue
+// -( (2 pi kx)^2 + (2 pi ky)^2 + (2 pi kz)^2 ), inverse-transform. The
+// example manufactures f from a known u (a sum of plane waves), solves,
+// and reports the max error against the analytic solution.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/aligned.h"
+#include "common/timer.h"
+#include "fft/fft.h"
+
+using namespace bwfft;
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi_v<double>;
+
+/// Signed frequency for bin i of an n-point axis: 0..n/2, then negative.
+double freq(idx_t i, idx_t n) {
+  return static_cast<double>(i <= n / 2 ? i : i - n);
+}
+
+}  // namespace
+
+int main() {
+  const idx_t N = 64;
+  const idx_t total = N * N * N;
+
+  // Manufactured solution: u = sin(2 pi (x + 2y)) + cos(2 pi (3z - x)).
+  // Then f = lap(u) = -(2 pi)^2 (5 sin(...) + 10 cos(...)).
+  cvec u_exact(static_cast<std::size_t>(total));
+  cvec f(static_cast<std::size_t>(total));
+  for (idx_t z = 0; z < N; ++z) {
+    for (idx_t y = 0; y < N; ++y) {
+      for (idx_t x = 0; x < N; ++x) {
+        const double xs = static_cast<double>(x) / N;
+        const double ys = static_cast<double>(y) / N;
+        const double zs = static_cast<double>(z) / N;
+        const double s = std::sin(kTwoPi * (xs + 2 * ys));
+        const double c = std::cos(kTwoPi * (3 * zs - xs));
+        const std::size_t at = static_cast<std::size_t>(z * N * N + y * N + x);
+        u_exact[at] = cplx(s + c, 0.0);
+        f[at] = cplx(-kTwoPi * kTwoPi * (5.0 * s + 10.0 * c), 0.0);
+      }
+    }
+  }
+
+  FftOptions opts;  // default double-buffer engine
+  Fft3d fwd(N, N, N, Direction::Forward, opts);
+  Fft3d inv(N, N, N, Direction::Inverse, opts);
+
+  Timer timer;
+  cvec spec(static_cast<std::size_t>(total));
+  fwd.execute(f.data(), spec.data());
+
+  // Divide by the Laplacian symbol; the k=0 mode is the free constant —
+  // pin it to zero mean, matching the zero-mean manufactured solution.
+  for (idx_t z = 0; z < N; ++z) {
+    for (idx_t y = 0; y < N; ++y) {
+      for (idx_t x = 0; x < N; ++x) {
+        const double kx = kTwoPi * freq(x, N);
+        const double ky = kTwoPi * freq(y, N);
+        const double kz = kTwoPi * freq(z, N);
+        const double sym = -(kx * kx + ky * ky + kz * kz);
+        const std::size_t at = static_cast<std::size_t>(z * N * N + y * N + x);
+        spec[at] = (sym == 0.0) ? cplx(0, 0) : spec[at] / sym;
+      }
+    }
+  }
+
+  cvec u(static_cast<std::size_t>(total));
+  inv.execute(spec.data(), u.data());
+  const double scale = 1.0 / static_cast<double>(total);
+  double err = 0.0;
+  for (idx_t i = 0; i < total; ++i) {
+    err = std::max(err, std::abs(u[static_cast<std::size_t>(i)] * scale -
+                                 u_exact[static_cast<std::size_t>(i)]));
+  }
+  const double secs = timer.seconds();
+
+  std::printf("Spectral Poisson solve on %lld^3 periodic grid (%s engine)\n",
+              static_cast<long long>(N), fwd.engine_name());
+  std::printf("  solve time (fwd + symbol + inv): %.3f ms\n", secs * 1e3);
+  std::printf("  max |u - u_exact| = %.3e\n", err);
+  return err < 1e-8 ? 0 : 1;
+}

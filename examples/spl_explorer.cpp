@@ -1,0 +1,69 @@
+// SPL explorer — the formalism of §II-C as a runnable demo.
+//
+// Prints the paper's factorisations (Cooley–Tukey, the rotated 3D
+// decomposition, the Table III dual-socket write matrices) and verifies
+// each against the dense DFT numerically, mirroring how SPIRAL-derived
+// implementations are validated.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "spl/algorithms.h"
+#include "spl/lower.h"
+
+using namespace bwfft;
+using namespace bwfft::spl;
+
+namespace {
+
+void show(const char* title, const ExprPtr& got, const ExprPtr& want) {
+  const double err = max_abs_diff(*got, *want);
+  std::printf("%s\n  %s\n  max |got - dense| = %.2e  [%s]\n\n", title,
+              got->str().c_str(), err, err < 1e-10 ? "OK" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SPL factorisations from the paper, verified against dense "
+              "semantics\n\n");
+
+  show("Cooley-Tukey: DFT_8 = (DFT_2 (x) I_4) D (I_2 (x) DFT_4) L",
+       cooley_tukey(2, 4), dft(8));
+
+  show("2D pencil: DFT_{4x4}", dft2d_pencil(4, 4),
+       kron(dft(4), dft(4)));
+
+  show("2D blocked (mu=2): DFT_{4x8}", dft2d_blocked(4, 8, 2),
+       kron(dft(4), dft(8)));
+
+  show("3D rotated (mu=2): DFT_{2x4x4}", dft3d_rotated(2, 4, 4, 2),
+       kron(dft(2), kron(dft(4), dft(4))));
+
+  show("3D slab-pencil: DFT_{2x4x4}", dft3d_slab_pencil(2, 4, 4),
+       kron(dft(2), kron(dft(4), dft(4))));
+
+  show("Dual-socket (Table III, sk=2): DFT_{4x4x4}",
+       dft3d_dual_socket(4, 4, 4, 2, 2),
+       kron(dft(4), kron(dft(4), dft(4))));
+
+  std::printf("Rotation operator K_4^{2,3} (cube 2x3x4 -> 4x2x3):\n  %s\n",
+              rotation_k(2, 3, 4)->str().c_str());
+  std::printf("Stage-1 write matrix W_{b=8,i=1} for 2x4x4, mu=2:\n  %s\n\n",
+              write_matrix_stage1(2, 4, 4, 2, 8, 1)->str().c_str());
+
+  // Lowering: from formula to executable plan (the SPIRAL role).
+  auto term = dft3d_rotated(4, 4, 8, 4);
+  Program prog = lower(*term);
+  std::printf("Lowered plan for the rotated 3D decomposition of "
+              "DFT_{4x4x8}:\n%s", prog.describe().c_str());
+  auto x = random_cvec(term->cols());
+  auto got = prog.run(x);
+  auto want = (*term)(x);
+  double err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    err = std::max(err, std::abs(got[i] - want[i]));
+  }
+  std::printf("plan vs formula: max err = %.2e  [%s]\n", err,
+              err < 1e-10 ? "OK" : "MISMATCH");
+  return 0;
+}

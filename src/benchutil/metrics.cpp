@@ -1,0 +1,27 @@
+#include "benchutil/metrics.h"
+
+#include <cmath>
+
+namespace bwfft {
+
+double fft_flops(double n_total) {
+  return 5.0 * n_total * std::log2(n_total);
+}
+
+double fft_gflops(double n_total, double seconds) {
+  return fft_flops(n_total) / seconds / 1e9;
+}
+
+double io_bound_seconds(double n_total, int nr_stages, double bandwidth_gbs) {
+  const double bytes = 2.0 * n_total * nr_stages * sizeof(cplx);
+  return bytes / (bandwidth_gbs * 1e9);
+}
+
+double achievable_peak_gflops(double n_total, int nr_stages,
+                              double bandwidth_gbs) {
+  return fft_flops(n_total) / io_bound_seconds(n_total, nr_stages,
+                                               bandwidth_gbs) /
+         1e9;
+}
+
+}  // namespace bwfft

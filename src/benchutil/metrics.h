@@ -1,0 +1,35 @@
+// Performance metrics of the paper's evaluation (§V).
+//
+// Pseudo-Gflop/s uses the conventional 5 N log2 N flop estimate divided by
+// wall time — proportional to inverse runtime, the accepted FFT metric.
+// P_io is the "achievable peak": the rate of an FFT whose stages stream
+// all data at the STREAM bandwidth with infinite compute:
+//
+//   P_io = 5 N log2(N) * BW / (2 * N * nr_stages * sizeof(cplx))
+//
+// (the paper writes sizeof(double) and separately notes the factor two for
+// complex data; both accesses — read and write — per stage give the other
+// factor two).
+#pragma once
+
+#include "common/types.h"
+
+namespace bwfft {
+
+/// 5 N log2 N — the pseudo flop count for an FFT of N total points.
+double fft_flops(double n_total);
+
+/// Pseudo-Gflop/s for an FFT of `n_total` points taking `seconds`.
+double fft_gflops(double n_total, double seconds);
+
+/// Achievable-peak pseudo-Gflop/s at the given STREAM bandwidth for an
+/// algorithm making `nr_stages` full read+write round trips over the
+/// `n_total` complex-double data set.
+double achievable_peak_gflops(double n_total, int nr_stages,
+                              double bandwidth_gbs);
+
+/// Seconds a perfect streaming implementation would need (the roofline
+/// time bound used for %-of-peak).
+double io_bound_seconds(double n_total, int nr_stages, double bandwidth_gbs);
+
+}  // namespace bwfft

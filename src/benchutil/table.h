@@ -1,0 +1,30 @@
+// Minimal fixed-width table printer for the figure harnesses, so each
+// bench binary can emit the same rows/series the paper's plots show.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace bwfft {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for bench output.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace bwfft

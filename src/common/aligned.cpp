@@ -1,0 +1,18 @@
+#include "common/aligned.h"
+
+#include <cstdlib>
+
+namespace bwfft {
+
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) return nullptr;
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t rounded = (bytes + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void aligned_free(void* p) noexcept { std::free(p); }
+
+}  // namespace bwfft

@@ -1,0 +1,97 @@
+// Cacheline/SIMD-aligned memory management.
+//
+// All transform buffers are 64-byte aligned so that (a) AVX loads/stores can
+// use aligned forms, (b) non-temporal stores operate on whole cachelines and
+// (c) the blocked transpositions move naturally aligned mu-packets.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Allocate `bytes` of 64-byte-aligned storage. Throws std::bad_alloc.
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t align = kCachelineBytes);
+
+/// Free storage obtained from aligned_alloc_bytes.
+void aligned_free(void* p) noexcept;
+
+/// STL-compatible allocator yielding 64-byte-aligned storage.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(aligned_alloc_bytes(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { aligned_free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Aligned vector of complex values — the standard working container.
+using cvec = std::vector<cplx, AlignedAllocator<cplx>>;
+/// Aligned vector of doubles (split-format planes, STREAM buffers).
+using dvec = std::vector<double, AlignedAllocator<double>>;
+
+/// A fixed-size, owning, aligned buffer of T. Unlike std::vector it never
+/// value-initialises its contents, which matters when buffers are tens of
+/// gigabytes and will be written by first-touch-placement threads anyway.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n)
+      : ptr_(static_cast<T*>(aligned_alloc_bytes(n * sizeof(T)))), size_(n) {}
+  ~AlignedBuffer() { aligned_free(ptr_); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : ptr_(o.ptr_), size_(o.size_) {
+    o.ptr_ = nullptr;
+    o.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      aligned_free(ptr_);
+      ptr_ = o.ptr_;
+      size_ = o.size_;
+      o.ptr_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  T* data() noexcept { return ptr_; }
+  const T* data() const noexcept { return ptr_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  T& operator[](std::size_t i) noexcept { return ptr_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return ptr_[i]; }
+  T* begin() noexcept { return ptr_; }
+  T* end() noexcept { return ptr_ + size_; }
+
+ private:
+  T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bwfft

@@ -1,0 +1,50 @@
+// Error handling used across the library.
+//
+// Configuration errors (bad sizes, mismatched dimensions) throw
+// bwfft::Error; internal invariant violations use BWFFT_ASSERT which is
+// active in all build types — the cost is negligible next to the
+// memory-bound workloads this library targets.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bwfft {
+
+/// Exception thrown on invalid plan configuration or argument errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bwfft
+
+/// Check a user-facing precondition; throws bwfft::Error on failure.
+#define BWFFT_CHECK(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::bwfft::detail::throw_error(__FILE__, __LINE__,            \
+                                   std::string("check failed: ") \
+                                       + #cond + " — " + (msg)); \
+    }                                                             \
+  } while (0)
+
+/// Internal invariant; failure indicates a library bug.
+#define BWFFT_ASSERT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::bwfft::detail::throw_error(__FILE__, __LINE__,                     \
+                                   std::string("internal invariant: ") + \
+                                       #cond);                             \
+    }                                                                      \
+  } while (0)

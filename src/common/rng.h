@@ -1,0 +1,25 @@
+// Deterministic random data generation for tests and benchmarks.
+#pragma once
+
+#include <random>
+
+#include "common/aligned.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Fill `v` with complex values uniform in [-1,1] x [-1,1]i, deterministic
+/// for a given seed. Used by every test/bench so runs are reproducible.
+inline void fill_random(cplx* v, idx_t n, std::uint64_t seed = 0x5eed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (idx_t i = 0; i < n; ++i) v[i] = cplx(dist(gen), dist(gen));
+}
+
+inline cvec random_cvec(idx_t n, std::uint64_t seed = 0x5eed) {
+  cvec v(static_cast<std::size_t>(n));
+  fill_random(v.data(), n, seed);
+  return v;
+}
+
+}  // namespace bwfft

@@ -1,0 +1,44 @@
+// Wall-clock and cycle timers.
+//
+// The paper times runs with the rdtsc time-stamp counter; we expose both
+// rdtsc (x86 only) and std::chrono::steady_clock and use the latter for all
+// reported numbers, since TSC-to-seconds conversion needs the nominal
+// frequency which is unreliable inside VMs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace bwfft {
+
+/// Read the x86 time-stamp counter (0 on non-x86 builds).
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+/// Simple steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bwfft

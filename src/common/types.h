@@ -1,0 +1,39 @@
+// Core scalar and complex types shared across the bwfft library.
+//
+// The library computes double-precision complex transforms, matching the
+// evaluation in the paper (all experiments are double-precision complex).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace bwfft {
+
+/// Complex double — the element type of every transform in the library.
+using cplx = std::complex<double>;
+
+/// Index type used for element counts and strides. Signed, so that loop
+/// arithmetic with differences cannot silently wrap.
+using idx_t = std::ptrdiff_t;
+
+/// Cacheline size assumed throughout the data-movement layer. The paper's
+/// blocked transpositions move data in cacheline-size packets `mu`.
+inline constexpr std::size_t kCachelineBytes = 64;
+
+/// Number of complex doubles per cacheline — the packet size `mu` used by
+/// the blocked transpose (L (x) I_mu) and rotation (K (x) I_mu) operators.
+inline constexpr idx_t kMu = static_cast<idx_t>(kCachelineBytes / sizeof(cplx));
+
+/// Transform direction. Forward uses exp(-2*pi*i/n) roots (the paper's
+/// convention); Inverse uses the conjugate roots and no scaling unless
+/// requested explicitly.
+enum class Direction : int {
+  Forward = -1,
+  Inverse = +1,
+};
+
+/// Sign of the exponent for a direction: -1 for forward, +1 for inverse.
+constexpr int sign_of(Direction d) { return static_cast<int>(d); }
+
+}  // namespace bwfft

@@ -1,0 +1,121 @@
+#include "fft/double_buffer.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "layout/rotate.h"
+#include "layout/stream_copy.h"
+
+namespace bwfft {
+
+DoubleBufferEngine::DoubleBufferEngine(std::vector<idx_t> dims, Direction dir,
+                                       const FftOptions& opts)
+    : dims_(std::move(dims)), dir_(dir), opts_(opts) {
+  BWFFT_CHECK(dims_.size() == 2 || dims_.size() == 3,
+              "double-buffer engine supports 2D and 3D");
+  for (idx_t d : dims_) total_ *= d;
+  if (dims_.size() == 2) {
+    const idx_t mu = resolve_packet_size(opts_.packet_elems, dims_[1]);
+    auto s = make_2d_stages(dims_[0], dims_[1], mu);
+    stages_.assign(s.begin(), s.end());
+    work_.resize(static_cast<std::size_t>(total_));
+  } else {
+    const idx_t mu = resolve_packet_size(opts_.packet_elems, dims_[2]);
+    auto s = make_3d_stages(dims_[0], dims_[1], dims_[2], mu);
+    stages_.assign(s.begin(), s.end());
+  }
+  for (const auto& g : stages_) {
+    ffts_.push_back(std::make_shared<Fft1d>(g.fft_len, dir_));
+  }
+
+  const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
+  const int pc = opts_.compute_threads >= 0
+                     ? opts_.compute_threads
+                     : (p <= 1 ? p : p / 2);
+  roles_ = make_role_plan(p, pc, opts_.topo);
+  team_ = std::make_unique<ThreadTeam>(
+      p, opts_.pin_threads ? roles_.cpu : std::vector<int>{});
+
+  // Block size: the LLC policy, but always at least one row of the widest
+  // stage so every stage tiles into whole rows.
+  idx_t block = opts_.block_elems > 0 ? opts_.block_elems
+                                      : default_block_elems(opts_.topo);
+  for (const auto& g : stages_) block = std::max(block, g.row_elems());
+  pipeline_ = std::make_unique<DoubleBufferPipeline>(*team_, roles_, block);
+}
+
+void DoubleBufferEngine::run_stage(const StageGeometry& g, const Fft1d& fft,
+                                   const cplx* src, cplx* dst,
+                                   bool pipelined) {
+  const idx_t row_elems = g.row_elems();
+  const idx_t block_rows =
+      rows_per_block(g.rows(), pipeline_->block_elems() / row_elems);
+  const bool nt = opts_.nontemporal;
+
+  PipelineStage stage;
+  stage.iterations = g.rows() / block_rows;
+  // R_{b,i}: stream block i's rows into the buffer half. The stores are
+  // temporal on purpose — the compute threads read them next iteration.
+  stage.load = [=](idx_t i, cplx* buf, int rank, int parts) {
+    auto [r0, r1] = ThreadTeam::chunk(block_rows, parts, rank);
+    if (r1 > r0) {
+      std::memcpy(buf + r0 * row_elems,
+                  src + (i * block_rows + r0) * row_elems,
+                  static_cast<std::size_t>((r1 - r0) * row_elems) *
+                      sizeof(cplx));
+    }
+  };
+  // Compute kernel: I_{rows} (x) DFT_L (x) I_lanes, in place on the half.
+  stage.compute = [=, &fft](idx_t, cplx* buf, int rank, int parts) {
+    auto [r0, r1] = ThreadTeam::chunk(block_rows, parts, rank);
+    if (r1 > r0) fft.apply_lanes(buf + r0 * row_elems, g.lanes, r1 - r0);
+  };
+  // W_{b,i}: scatter the block through the blocked rotation with
+  // non-temporal stores (the data is dead until the next stage).
+  stage.store = [=](idx_t i, const cplx* buf, int rank, int parts) {
+    auto [r0, r1] = ThreadTeam::chunk(block_rows, parts, rank);
+    if (r1 > r0) {
+      rotate_store_rows(buf + r0 * row_elems, dst, i * block_rows + r0,
+                        r1 - r0, g.a, g.b, g.cp(), g.mu, nt);
+    }
+  };
+
+  Timer timer;
+  if (pipelined) {
+    pipeline_->execute(stage);
+  } else {
+    pipeline_->execute_unpipelined(stage);
+  }
+  stats_.push_back({timer.seconds(), stage.iterations, block_rows,
+                    pipeline_->last_utilization()});
+}
+
+void DoubleBufferEngine::run_all(cplx* in, cplx* out, bool pipelined) {
+  BWFFT_CHECK(in != out, "engines are out of place");
+  stats_.clear();
+  if (dims_.size() == 2) {
+    run_stage(stages_[0], *ffts_[0], in, work_.data(), pipelined);
+    run_stage(stages_[1], *ffts_[1], work_.data(), out, pipelined);
+  } else {
+    run_stage(stages_[0], *ffts_[0], in, out, pipelined);
+    run_stage(stages_[1], *ffts_[1], out, in, pipelined);
+    run_stage(stages_[2], *ffts_[2], in, out, pipelined);
+  }
+  if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
+    const double s = 1.0 / static_cast<double>(total_);
+    parallel_for_chunks(*team_, total_, [&](int, idx_t b, idx_t e) {
+      for (idx_t i = b; i < e; ++i) out[i] *= s;
+    });
+  }
+}
+
+void DoubleBufferEngine::execute(cplx* in, cplx* out) {
+  run_all(in, out, /*pipelined=*/true);
+}
+
+void DoubleBufferEngine::execute_unpipelined(cplx* in, cplx* out) {
+  run_all(in, out, /*pipelined=*/false);
+}
+
+}  // namespace bwfft

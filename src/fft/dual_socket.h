@@ -1,0 +1,73 @@
+// Dual-socket double-buffered 3D FFT (§IV-B, Fig 8, Table III).
+//
+// Data is distributed across the sockets' NUMA domains by the z dimension
+// (each socket owns a contiguous k/sk x n x m slab). Every stage reads
+// only from the socket's local memory; stage 1 also writes locally (its
+// rotation stays inside the slab, Table III W^1), while stages 2 and 3
+// write across the interconnect (W^2 reassembles full-z pencils
+// distributed by y; W^3 restores the natural order distributed by z).
+// Within each socket the stage runs the same Table II software pipeline as
+// the single-socket engine, with the socket's own compute/data threads,
+// cache buffer and barrier. Cross-socket write traffic is recorded so the
+// harness can apply the QPI/HT bandwidth term of the paper's Fig 10
+// analysis.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fft/engine.h"
+#include "fft/stage.h"
+#include "fft1d/fft1d.h"
+#include "parallel/barrier.h"
+#include "parallel/numa.h"
+#include "parallel/roles.h"
+#include "parallel/team.h"
+
+namespace bwfft {
+
+class DualSocketFft3d {
+ public:
+  /// Cube k x n x m over `sockets` NUMA domains; sk must divide k and n.
+  DualSocketFft3d(idx_t k, idx_t n, idx_t m, Direction dir,
+                  const FftOptions& opts, int sockets = 2);
+
+  /// Distributed transform: both arrays have one k/sk x n x m slab per
+  /// domain; `x` is the input and is clobbered, the result lands in `y`.
+  void execute_distributed(NumaArray& x, NumaArray& y);
+
+  /// Convenience contiguous API: scatters `in` over the domains, runs,
+  /// gathers into `out` (adds two copies; the distributed API is the
+  /// intended hot path).
+  void execute(cplx* in, cplx* out);
+
+  int sockets() const { return sk_; }
+  idx_t size() const { return k_ * n_ * m_; }
+
+  /// Cross-socket bytes written by the last execute_* call.
+  const LinkTraffic& traffic() const { return traffic_; }
+
+ private:
+  struct SocketState {
+    std::unique_ptr<SpinBarrier> barrier;
+    AlignedBuffer<cplx> buffer;  // two halves of block_elems each
+  };
+
+  void run_stage(int stage, NumaArray& src, NumaArray& dst);
+
+  idx_t k_, n_, m_, mu_;
+  idx_t ksl_, nsl_;  // per-socket slab extents k/sk, n/sk
+  Direction dir_;
+  FftOptions opts_;
+  int sk_;
+  std::array<StageGeometry, 3> stages_;  // per-socket local geometry
+  std::vector<std::shared_ptr<Fft1d>> ffts_;
+  std::unique_ptr<ThreadTeam> team_;
+  int per_socket_threads_ = 1;
+  RolePlan socket_roles_;
+  idx_t block_elems_ = 0;
+  std::vector<SocketState> socket_;
+  LinkTraffic traffic_;
+};
+
+}  // namespace bwfft

@@ -1,0 +1,106 @@
+#include "fft/fft.h"
+
+#include "common/error.h"
+#include "fft/double_buffer.h"
+#include "fft/pencil.h"
+#include "fft/reference.h"
+#include "fft/slab_pencil.h"
+#include "fft/stage_parallel.h"
+
+namespace bwfft {
+
+const char* engine_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::Reference: return "reference";
+    case EngineKind::Pencil: return "pencil";
+    case EngineKind::StageParallel: return "stage-parallel";
+    case EngineKind::SlabPencil: return "slab-pencil";
+    case EngineKind::DoubleBuffer: return "double-buffer";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Thin adapter running the dense oracle behind the engine interface.
+class ReferenceEngine final : public MdEngine {
+ public:
+  ReferenceEngine(std::vector<idx_t> dims, Direction dir, FftOptions opts)
+      : dims_(std::move(dims)), dir_(dir), opts_(opts) {}
+
+  void execute(cplx* in, cplx* out) override {
+    if (dims_.size() == 2) {
+      reference_dft_2d(in, out, dims_[0], dims_[1], dir_);
+    } else {
+      reference_dft_3d(in, out, dims_[0], dims_[1], dims_[2], dir_);
+    }
+    if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
+      idx_t total = 1;
+      for (idx_t d : dims_) total *= d;
+      const double s = 1.0 / static_cast<double>(total);
+      for (idx_t i = 0; i < total; ++i) out[i] *= s;
+    }
+  }
+  const char* name() const override { return "reference"; }
+
+ private:
+  std::vector<idx_t> dims_;
+  Direction dir_;
+  FftOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<MdEngine> make_engine(const std::vector<idx_t>& dims,
+                                      Direction dir, const FftOptions& opts) {
+  BWFFT_CHECK(dims.size() == 2 || dims.size() == 3,
+              "only 2D and 3D transforms are supported");
+  for (idx_t d : dims) BWFFT_CHECK(d >= 1, "dimensions must be positive");
+  switch (opts.engine) {
+    case EngineKind::Reference:
+      return std::make_unique<ReferenceEngine>(dims, dir, opts);
+    case EngineKind::Pencil:
+      return std::make_unique<PencilEngine>(dims, dir, opts);
+    case EngineKind::StageParallel:
+      return std::make_unique<StageParallelEngine>(dims, dir, opts);
+    case EngineKind::SlabPencil:
+      return std::make_unique<SlabPencilEngine>(dims, dir, opts);
+    case EngineKind::DoubleBuffer:
+      return std::make_unique<DoubleBufferEngine>(dims, dir, opts);
+  }
+  throw Error("unknown engine kind");
+}
+
+Fft2d::Fft2d(idx_t n, idx_t m, Direction dir, FftOptions opts)
+    : n_(n), m_(m), engine_(make_engine({n, m}, dir, opts)) {}
+Fft2d::~Fft2d() = default;
+Fft2d::Fft2d(Fft2d&&) noexcept = default;
+Fft2d& Fft2d::operator=(Fft2d&&) noexcept = default;
+
+void Fft2d::execute(cplx* in, cplx* out) { engine_->execute(in, out); }
+
+void Fft2d::execute_inplace(cplx* data) {
+  inplace_work_.resize(static_cast<std::size_t>(size()));
+  engine_->execute(data, inplace_work_.data());
+  std::copy(inplace_work_.begin(), inplace_work_.end(), data);
+}
+
+const char* Fft2d::engine_name() const { return engine_->name(); }
+
+Fft3d::Fft3d(idx_t k, idx_t n, idx_t m, Direction dir, FftOptions opts)
+    : k_(k), n_(n), m_(m), engine_(make_engine({k, n, m}, dir, opts)) {}
+Fft3d::~Fft3d() = default;
+Fft3d::Fft3d(Fft3d&&) noexcept = default;
+Fft3d& Fft3d::operator=(Fft3d&&) noexcept = default;
+
+void Fft3d::execute(cplx* in, cplx* out) { engine_->execute(in, out); }
+
+void Fft3d::execute_inplace(cplx* data) {
+  inplace_work_.resize(static_cast<std::size_t>(size()));
+  engine_->execute(data, inplace_work_.data());
+  std::copy(inplace_work_.begin(), inplace_work_.end(), data);
+}
+
+const char* Fft3d::engine_name() const { return engine_->name(); }
+
+}  // namespace bwfft

@@ -1,0 +1,84 @@
+// bwfft public API — bandwidth-efficient large multidimensional FFTs.
+//
+// Reproduction of Popovici, Low, Franchetti, "Large Bandwidth-Efficient
+// FFTs on Multicore and Multi-Socket Systems" (IPDPS 2018).
+//
+// Quickstart:
+//
+//   #include "fft/fft.h"
+//   bwfft::Fft3d plan(256, 256, 256, bwfft::Direction::Forward, {});
+//   plan.execute(input.data(), output.data());   // input is clobbered
+//
+// Plans are created once (twiddles, thread team, cache-resident buffer)
+// and executed many times. All engines are out of place and may use the
+// input array as scratch (FFTW_DESTROY_INPUT semantics). Select an
+// algorithm via FftOptions::engine; the default is the paper's
+// double-buffered soft-DMA algorithm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/types.h"
+#include "fft/engine.h"
+#include "fft/options.h"
+
+namespace bwfft {
+
+/// 2D complex transform of an n x m row-major array.
+class Fft2d {
+ public:
+  Fft2d(idx_t n, idx_t m, Direction dir, FftOptions opts = {});
+  ~Fft2d();
+  Fft2d(Fft2d&&) noexcept;
+  Fft2d& operator=(Fft2d&&) noexcept;
+
+  /// Transform `in` into `out` (both n*m elements, in != out). `in` may be
+  /// overwritten.
+  void execute(cplx* in, cplx* out);
+
+  /// In-place convenience: transforms `data` through an internal work
+  /// array (allocated lazily on first use and kept for reuse).
+  void execute_inplace(cplx* data);
+
+  idx_t rows() const { return n_; }
+  idx_t cols() const { return m_; }
+  idx_t size() const { return n_ * m_; }
+  const char* engine_name() const;
+
+ private:
+  idx_t n_, m_;
+  std::unique_ptr<MdEngine> engine_;
+  cvec inplace_work_;
+};
+
+/// 3D complex transform of a k x n x m row-major cube (k slowest).
+class Fft3d {
+ public:
+  Fft3d(idx_t k, idx_t n, idx_t m, Direction dir, FftOptions opts = {});
+  ~Fft3d();
+  Fft3d(Fft3d&&) noexcept;
+  Fft3d& operator=(Fft3d&&) noexcept;
+
+  /// Transform `in` into `out` (both k*n*m elements, in != out). `in` may
+  /// be overwritten.
+  void execute(cplx* in, cplx* out);
+
+  /// In-place convenience: transforms `data` through an internal work
+  /// array (allocated lazily on first use and kept for reuse).
+  void execute_inplace(cplx* data);
+
+  idx_t dim0() const { return k_; }
+  idx_t dim1() const { return n_; }
+  idx_t dim2() const { return m_; }
+  idx_t size() const { return k_ * n_ * m_; }
+  const char* engine_name() const;
+
+ private:
+  idx_t k_, n_, m_;
+  std::unique_ptr<MdEngine> engine_;
+  cvec inplace_work_;
+};
+
+}  // namespace bwfft

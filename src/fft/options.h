@@ -1,0 +1,66 @@
+// Plan options shared by all multidimensional FFT engines.
+#pragma once
+
+#include "common/topology.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Which algorithm executes the transform.
+enum class EngineKind {
+  /// O(n^2)-per-dimension reference oracle; exact but slow.
+  Reference,
+  /// Naive pencil decomposition: every dimension transformed in place at
+  /// its natural stride. The worst-case memory behaviour the paper opens
+  /// with (§II-D).
+  Pencil,
+  /// Transpose-based row–column algorithm: per stage, unit-stride batch
+  /// FFTs then a full-array blocked rotation, all threads on each phase,
+  /// no overlap. Stand-in for the MKL/FFTW large-size strategy.
+  StageParallel,
+  /// Slab–pencil decomposition (3D only): per-slab 2D FFT then z pencils;
+  /// the strategy FFTW picks on the paper's AMD machines (§V).
+  SlabPencil,
+  /// The paper's contribution: tiled stages double-buffered in the LLC
+  /// with dedicated soft-DMA data threads overlapping loads/rotated
+  /// stores with the batch FFT compute (§III).
+  DoubleBuffer,
+};
+
+const char* engine_name(EngineKind k);
+
+struct FftOptions {
+  EngineKind engine = EngineKind::DoubleBuffer;
+
+  /// Machine model: sizes the shared buffer, the thread team and the CPU
+  /// pinning. Defaults to the host.
+  MachineTopology topo = host_topology();
+
+  /// Team size p; 0 = topo.total_threads().
+  int threads = 0;
+
+  /// Compute threads p_c (rest are data threads); -1 = even split (the
+  /// paper's default).
+  int compute_threads = -1;
+
+  /// Per-half pipeline block b in complex elements; 0 = the LLC/2 policy.
+  idx_t block_elems = 0;
+
+  /// Use non-temporal stores in the W matrices (§IV-A). The ablation
+  /// bench flips this off.
+  bool nontemporal = true;
+
+  /// Rotation packet size mu in complex elements; 0 = auto (one cacheline,
+  /// i.e. 4 complex doubles, when it divides the fast dimension). Setting
+  /// 1 forces the element-wise rotation of the unblocked formulas — the
+  /// blocked-vs-element ablation of §III-A.
+  idx_t packet_elems = 0;
+
+  /// Pin team threads to the topology's suggested CPUs.
+  bool pin_threads = false;
+
+  /// Scale the inverse transform by 1/N (forward is never scaled).
+  bool normalize_inverse = false;
+};
+
+}  // namespace bwfft

@@ -1,0 +1,56 @@
+#include "fft/reference.h"
+
+#include "common/error.h"
+#include "kernels/twiddle.h"
+
+namespace bwfft {
+
+namespace {
+
+/// Apply the dense DFT along one axis of a flattened array: `outer` slabs,
+/// each containing `n` slices of `inner` contiguous elements; the
+/// transform runs over the slice index.
+void dense_dft_axis(const cplx* in, cplx* out, idx_t outer, idx_t n,
+                    idx_t inner, Direction dir) {
+  const cvec w = root_table(n, n, dir);
+  for (idx_t o = 0; o < outer; ++o) {
+    const cplx* slab_in = in + o * n * inner;
+    cplx* slab_out = out + o * n * inner;
+    for (idx_t k = 0; k < n; ++k) {
+      for (idx_t i = 0; i < inner; ++i) {
+        cplx acc(0.0, 0.0);
+        for (idx_t l = 0; l < n; ++l) {
+          acc += w[static_cast<std::size_t>((k * l) % n)] * slab_in[l * inner + i];
+        }
+        slab_out[k * inner + i] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void reference_dft_1d(const cplx* in, cplx* out, idx_t n, Direction dir) {
+  BWFFT_CHECK(in != out, "reference DFT is out of place");
+  dense_dft_axis(in, out, 1, n, 1, dir);
+}
+
+void reference_dft_2d(const cplx* in, cplx* out, idx_t n, idx_t m,
+                      Direction dir) {
+  BWFFT_CHECK(in != out, "reference DFT is out of place");
+  cvec tmp(static_cast<std::size_t>(n * m));
+  dense_dft_axis(in, tmp.data(), n, m, 1, dir);    // rows (x)
+  dense_dft_axis(tmp.data(), out, 1, n, m, dir);   // columns (y)
+}
+
+void reference_dft_3d(const cplx* in, cplx* out, idx_t k, idx_t n, idx_t m,
+                      Direction dir) {
+  BWFFT_CHECK(in != out, "reference DFT is out of place");
+  cvec t1(static_cast<std::size_t>(k * n * m));
+  cvec t2(static_cast<std::size_t>(k * n * m));
+  dense_dft_axis(in, t1.data(), k * n, m, 1, dir);   // x
+  dense_dft_axis(t1.data(), t2.data(), k, n, m, dir);  // y
+  dense_dft_axis(t2.data(), out, 1, k, n * m, dir);  // z
+}
+
+}  // namespace bwfft

@@ -1,0 +1,25 @@
+// Reference multidimensional DFT — the library's ground truth.
+//
+// Separable evaluation with the dense O(n^2) 1D DFT in each dimension.
+// Independent of every optimised code path (no Stockham, no rotations),
+// so agreement between an engine and this oracle is meaningful evidence.
+// Intended for test-scale problems.
+#pragma once
+
+#include "common/aligned.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+/// y = DFT_n x (dense matrix-vector product).
+void reference_dft_1d(const cplx* in, cplx* out, idx_t n, Direction dir);
+
+/// 2D transform of an n x m row-major array.
+void reference_dft_2d(const cplx* in, cplx* out, idx_t n, idx_t m,
+                      Direction dir);
+
+/// 3D transform of a k x n x m row-major cube.
+void reference_dft_3d(const cplx* in, cplx* out, idx_t k, idx_t n, idx_t m,
+                      Direction dir);
+
+}  // namespace bwfft

@@ -1,0 +1,80 @@
+// Stage geometry shared by the rotated-stage engines.
+//
+// Every stage of the paper's 2D/3D decomposition (§III-A) has the same
+// shape: the current array is a grid of `a*b` rows, each row holding one
+// batch of `lanes`-wide pencils of length `fft_len` contiguously
+// (row_elems = fft_len*lanes = cp mu-packets), and after the in-place
+// batch FFT the rows are scattered through the blocked rotation
+// K_{cp}^{a,b} (x) I_mu: packet p of row r lands at packet index p*a*b + r
+// of the output array. Three chained stages return a 3D cube to natural
+// order; two chained stages return a 2D array to natural order.
+#pragma once
+
+#include <array>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "kernels/twiddle.h"
+
+namespace bwfft {
+
+struct StageGeometry {
+  idx_t a = 1;       ///< slow rotation-grid dimension
+  idx_t b = 1;       ///< mid rotation-grid dimension
+  idx_t fft_len = 1; ///< pencil length L of this stage
+  idx_t lanes = 1;   ///< SIMD lanes per pencil element (1 or mu)
+  idx_t mu = 1;      ///< cacheline packet size for the rotation
+
+  idx_t row_elems() const { return fft_len * lanes; }
+  idx_t cp() const { return row_elems() / mu; }
+  idx_t rows() const { return a * b; }
+  idx_t total() const { return rows() * row_elems(); }
+};
+
+/// Largest packet size usable for the fast dimension m: a power of two
+/// dividing m, at most the cacheline packet kMu.
+inline idx_t packet_size_for(idx_t m) {
+  idx_t mu = 1;
+  while (mu < kMu && (m % (2 * mu)) == 0) mu *= 2;
+  return mu;
+}
+
+/// Resolve a requested packet size against the fast dimension: 0 = auto.
+inline idx_t resolve_packet_size(idx_t requested, idx_t m) {
+  if (requested <= 0) return packet_size_for(m);
+  BWFFT_CHECK(m % requested == 0, "packet_elems must divide the fast dim");
+  return requested;
+}
+
+/// Stage chain for the 3D cube k x n x m (paper §III-A):
+///  stage 0: rows (z,y), pencils along x;   layout out: [xp][z][y][xl]
+///  stage 1: rows (xp,z), pencils along y;  layout out: [y][xp][z][xl]
+///  stage 2: rows (y,xp), pencils along z;  layout out: [z][y][x] (natural)
+inline std::array<StageGeometry, 3> make_3d_stages(idx_t k, idx_t n, idx_t m,
+                                                   idx_t mu) {
+  BWFFT_CHECK(m % mu == 0, "packet size must divide m");
+  return {StageGeometry{k, n, m, 1, mu},
+          StageGeometry{m / mu, k, n, mu, mu},
+          StageGeometry{n, m / mu, k, mu, mu}};
+}
+
+/// Stage chain for the 2D array n x m:
+///  stage 0: rows y, pencils along x;   layout out: [xp][y][xl]
+///  stage 1: rows xp, pencils along y;  layout out: [y][x] (natural)
+inline std::array<StageGeometry, 2> make_2d_stages(idx_t n, idx_t m,
+                                                   idx_t mu) {
+  BWFFT_CHECK(m % mu == 0, "packet size must divide m");
+  return {StageGeometry{n, 1, m, 1, mu}, StageGeometry{m / mu, 1, n, mu, mu}};
+}
+
+/// Largest divisor of `rows` that is <= budget (>= 1): the number of rows
+/// per pipeline block, sized so a block fits the shared buffer half.
+inline idx_t rows_per_block(idx_t rows, idx_t budget) {
+  BWFFT_CHECK(budget >= 1, "block budget must hold at least one row");
+  for (idx_t d = std::min(rows, budget); d >= 1; --d) {
+    if (rows % d == 0) return d;
+  }
+  return 1;
+}
+
+}  // namespace bwfft

@@ -1,0 +1,278 @@
+#include "fft1d/fft1d.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "kernels/codelets.h"
+#include "kernels/vecops.h"
+
+namespace bwfft {
+
+namespace {
+
+/// Per-thread scratch that grows monotonically; avoids an allocation per
+/// apply call without sharing state across threads.
+cplx* thread_scratch(std::size_t elems) {
+  static thread_local cvec scratch;
+  if (scratch.size() < elems) scratch.resize(elems);
+  return scratch.data();
+}
+
+}  // namespace
+
+Fft1d::Fft1d(idx_t n, Direction dir) : n_(n), dir_(dir) {
+  BWFFT_CHECK(n >= 1, "FFT size must be >= 1");
+  if (is_pow2(n_)) {
+    // Stockham schedule: radix-4 levels, with one trailing radix-2 level
+    // when log2(n) is odd.
+    for (idx_t len = n_; len > 1;) {
+      StockhamLevel lvl;
+      if (len % 4 == 0) {
+        lvl.radix = 4;
+        const idx_t quarter = len / 4;
+        lvl.tw.resize(static_cast<std::size_t>(3 * quarter));
+        for (idx_t p = 0; p < quarter; ++p) {
+          lvl.tw[static_cast<std::size_t>(3 * p)] = root_of_unity(len, p, dir_);
+          lvl.tw[static_cast<std::size_t>(3 * p + 1)] =
+              root_of_unity(len, (2 * p) % len, dir_);
+          lvl.tw[static_cast<std::size_t>(3 * p + 2)] =
+              root_of_unity(len, (3 * p) % len, dir_);
+        }
+        len >>= 2;
+      } else {
+        lvl.radix = 2;
+        lvl.tw = root_table(len, len / 2, dir_);
+        len >>= 1;
+      }
+      slevels_.push_back(std::move(lvl));
+    }
+    const int levels = log2_floor(n_);
+    dit_tw_ = root_table(n_, std::max<idx_t>(n_ / 2, 1), dir_);
+    bitrev_.resize(static_cast<std::size_t>(n_));
+    for (idx_t i = 0; i < n_; ++i) {
+      idx_t r = 0, v = i;
+      for (int b = 0; b < levels; ++b) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+      }
+      bitrev_[static_cast<std::size_t>(i)] = r;
+    }
+  } else if (codelets::lookup(n_) != nullptr) {
+    // Small sizes use the hand-unrolled codelets directly.
+  } else if (MixedRadixFft::supported(n_)) {
+    mixed_ = std::make_unique<MixedRadixFft>(n_, dir_);
+  } else {
+    // Bluestein chirp-z setup: convolution length M = next pow2 >= 2n-1.
+    conv_n_ = 1;
+    while (conv_n_ < 2 * n_ - 1) conv_n_ <<= 1;
+    chirp_.resize(static_cast<std::size_t>(n_));
+    for (idx_t j = 0; j < n_; ++j) {
+      chirp_[static_cast<std::size_t>(j)] =
+          root_of_unity(2 * n_, (j * j) % (2 * n_), dir_);
+    }
+    conv_fwd_ = std::make_shared<Fft1d>(conv_n_, Direction::Forward);
+    conv_inv_ = std::make_shared<Fft1d>(conv_n_, Direction::Inverse);
+    // Kernel b[j] = conj(c[j]) for |j| < n, wrapped mod M, then FFT'd.
+    cvec kernel(static_cast<std::size_t>(conv_n_), cplx(0.0, 0.0));
+    for (idx_t j = 0; j < n_; ++j) {
+      const cplx b = std::conj(chirp_[static_cast<std::size_t>(j)]);
+      kernel[static_cast<std::size_t>(j)] = b;
+      if (j != 0) kernel[static_cast<std::size_t>(conv_n_ - j)] = b;
+    }
+    conv_fwd_->apply_batch(kernel.data(), 1);
+    chirp_fft_ = std::move(kernel);
+  }
+}
+
+void Fft1d::stockham_tile(cplx* tile, cplx* scratch, idx_t lanes) const {
+  // Iterative DIF Stockham autosort over the precomputed radix schedule.
+  // A level of radix r transforms sub-length `len` with packet stride `s`;
+  // afterwards len /= r and s *= r, and the buffers swap. The result is
+  // copied back if it ends in the scratch buffer.
+  cplx* src = tile;
+  cplx* dst = scratch;
+  idx_t len = n_;
+  idx_t s = lanes;
+  const bool scalar = force_scalar() || !vecops::kHaveAvx2Fma;
+  for (const StockhamLevel& lvl : slevels_) {
+    if (lvl.radix == 4) {
+      const idx_t q = len / 4;
+      for (idx_t p = 0; p < q; ++p) {
+        const cplx w1 = lvl.tw[static_cast<std::size_t>(3 * p)];
+        const cplx w2 = lvl.tw[static_cast<std::size_t>(3 * p + 1)];
+        const cplx w3 = lvl.tw[static_cast<std::size_t>(3 * p + 2)];
+        const cplx* a = src + s * p;
+        const cplx* b = src + s * (p + q);
+        const cplx* c = src + s * (p + 2 * q);
+        const cplx* d = src + s * (p + 3 * q);
+        cplx* y0 = dst + s * 4 * p;
+        cplx* y1 = dst + s * (4 * p + 1);
+        cplx* y2 = dst + s * (4 * p + 2);
+        cplx* y3 = dst + s * (4 * p + 3);
+        if (!scalar && s % 2 == 0) {
+          vecops::butterfly4_packets(a, b, c, d, w1, w2, w3, y0, y1, y2, y3,
+                                     s, dir_);
+        } else {
+          vecops::butterfly4_packets_scalar(a, b, c, d, w1, w2, w3, y0, y1,
+                                            y2, y3, s, dir_);
+        }
+      }
+      len >>= 2;
+      s <<= 2;
+    } else {
+      const idx_t half = len / 2;
+      for (idx_t p = 0; p < half; ++p) {
+        const cplx w = lvl.tw[static_cast<std::size_t>(p)];
+        if (!scalar && s % 2 == 0) {
+          vecops::butterfly_packets(src + s * p, src + s * (p + half), w,
+                                    dst + s * 2 * p, dst + s * (2 * p + 1), s);
+        } else {
+          vecops::butterfly_packets_scalar(src + s * p, src + s * (p + half),
+                                           w, dst + s * 2 * p,
+                                           dst + s * (2 * p + 1), s);
+        }
+      }
+      len >>= 1;
+      s <<= 1;
+    }
+    std::swap(src, dst);
+  }
+  if (src != tile) {
+    std::memcpy(tile, src, static_cast<std::size_t>(n_ * lanes) * sizeof(cplx));
+  }
+}
+
+void Fft1d::apply_lanes(cplx* data, idx_t lanes, idx_t count) const {
+  BWFFT_CHECK(lanes >= 1 && count >= 0, "bad lanes/count");
+  if (n_ == 1 || count == 0) return;
+
+  if (is_pow2(n_)) {
+    cplx* scratch = thread_scratch(static_cast<std::size_t>(n_ * lanes));
+    for (idx_t t = 0; t < count; ++t) {
+      stockham_tile(data + t * n_ * lanes, scratch, lanes);
+    }
+    return;
+  }
+
+  if (codelets::CodeletFn fn = codelets::lookup(n_)) {
+    cplx tmp[codelets::kMaxCodelet];
+    for (idx_t t = 0; t < count; ++t) {
+      cplx* tile = data + t * n_ * lanes;
+      for (idx_t l = 0; l < lanes; ++l) {
+        fn(tile + l, lanes, tmp, 1, dir_);
+        for (idx_t j = 0; j < n_; ++j) tile[j * lanes + l] = tmp[j];
+      }
+    }
+    return;
+  }
+
+  if (mixed_) {
+    // Smooth sizes: exact mixed-radix per lane pencil.
+    cvec pencil(static_cast<std::size_t>(n_));
+    for (idx_t t = 0; t < count; ++t) {
+      cplx* tile = data + t * n_ * lanes;
+      for (idx_t l = 0; l < lanes; ++l) {
+        if (lanes == 1) {
+          mixed_->apply(tile);
+        } else {
+          for (idx_t j = 0; j < n_; ++j) pencil[static_cast<std::size_t>(j)] = tile[j * lanes + l];
+          mixed_->apply(pencil.data());
+          for (idx_t j = 0; j < n_; ++j) tile[j * lanes + l] = pencil[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+    return;
+  }
+
+  // Bluestein path: transform each lane pencil through a gathered copy.
+  // A local buffer is used (not thread_scratch) because the inner
+  // power-of-two transforms use thread_scratch themselves.
+  cvec pencil(static_cast<std::size_t>(n_));
+  for (idx_t t = 0; t < count; ++t) {
+    cplx* tile = data + t * n_ * lanes;
+    for (idx_t l = 0; l < lanes; ++l) {
+      if (lanes == 1) {
+        bluestein(tile);
+      } else {
+        for (idx_t j = 0; j < n_; ++j) pencil[static_cast<std::size_t>(j)] = tile[j * lanes + l];
+        bluestein(pencil.data());
+        for (idx_t j = 0; j < n_; ++j) tile[j * lanes + l] = pencil[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+void Fft1d::bluestein(cplx* data) const {
+  // y = c .* IFFT(FFT(pad(c .* x)) .* chirp_fft) / M
+  cvec work(static_cast<std::size_t>(conv_n_), cplx(0.0, 0.0));
+  for (idx_t j = 0; j < n_; ++j) {
+    work[static_cast<std::size_t>(j)] = data[j] * chirp_[static_cast<std::size_t>(j)];
+  }
+  conv_fwd_->apply_batch(work.data(), 1);
+  for (idx_t j = 0; j < conv_n_; ++j) {
+    work[static_cast<std::size_t>(j)] *= chirp_fft_[static_cast<std::size_t>(j)];
+  }
+  conv_inv_->apply_batch(work.data(), 1);
+  const double inv_m = 1.0 / static_cast<double>(conv_n_);
+  for (idx_t k = 0; k < n_; ++k) {
+    data[k] = work[static_cast<std::size_t>(k)] * chirp_[static_cast<std::size_t>(k)] * inv_m;
+  }
+}
+
+void Fft1d::apply_lanes_strided(cplx* base, idx_t lanes,
+                                idx_t row_stride) const {
+  BWFFT_CHECK(is_pow2(n_), "strided lanes path requires power-of-two n");
+  BWFFT_CHECK(lanes >= 1 && row_stride >= lanes, "bad lanes/row_stride");
+  if (n_ == 1) return;
+  // One allocation holds the gathered tile and the Stockham scratch.
+  cplx* tile = thread_scratch(static_cast<std::size_t>(2 * n_ * lanes));
+  cplx* scratch = tile + n_ * lanes;
+  for (idx_t j = 0; j < n_; ++j) {
+    std::memcpy(tile + j * lanes, base + j * row_stride,
+                static_cast<std::size_t>(lanes) * sizeof(cplx));
+  }
+  stockham_tile(tile, scratch, lanes);
+  for (idx_t j = 0; j < n_; ++j) {
+    std::memcpy(base + j * row_stride, tile + j * lanes,
+                static_cast<std::size_t>(lanes) * sizeof(cplx));
+  }
+}
+
+void Fft1d::apply_oop(const cplx* in, cplx* out) const {
+  std::memcpy(out, in, static_cast<std::size_t>(n_) * sizeof(cplx));
+  apply_batch(out, 1);
+}
+
+void Fft1d::apply_strided_inplace(cplx* data, idx_t stride) const {
+  BWFFT_CHECK(is_pow2(n_), "strided in-place path requires power-of-two n");
+  if (n_ == 1) return;
+
+  // Bit-reversal permutation at the given stride.
+  for (idx_t i = 0; i < n_; ++i) {
+    const idx_t r = bitrev_[static_cast<std::size_t>(i)];
+    if (r > i) std::swap(data[i * stride], data[r * stride]);
+  }
+
+  // Iterative DIT butterflies; twiddle for (len, j) is w_n^{j * n/len}.
+  for (idx_t len = 2; len <= n_; len <<= 1) {
+    const idx_t half = len / 2;
+    const idx_t tw_step = n_ / len;
+    for (idx_t base = 0; base < n_; base += len) {
+      for (idx_t j = 0; j < half; ++j) {
+        const cplx w = dit_tw_[static_cast<std::size_t>(j * tw_step)];
+        cplx& lo = data[(base + j) * stride];
+        cplx& hi = data[(base + j + half) * stride];
+        const cplx v = hi * w;
+        hi = lo - v;
+        lo = lo + v;
+      }
+    }
+  }
+}
+
+void Fft1d::scale_inverse(cplx* data, idx_t count) const {
+  const double s = 1.0 / static_cast<double>(n_);
+  for (idx_t i = 0; i < count; ++i) data[i] *= s;
+}
+
+}  // namespace bwfft

@@ -1,0 +1,106 @@
+// 1D FFT engine.
+//
+// Three execution styles, matching the roles 1D transforms play in the
+// paper's multidimensional algorithms:
+//
+//  * apply_lanes(data, lanes, count) — the compute kernel of the
+//    double-buffered stages: `count` tiles, each holding an n x lanes
+//    row-major block, are transformed along the n dimension in place.
+//    This is the SPL construct I_count (x) DFT_n (x) I_lanes. With
+//    lanes = mu (one cacheline) every butterfly streams whole cachelines,
+//    which is the paper's "cache aware FFT" (§IV-A). Stockham autosort,
+//    AVX2+FMA vectorised over the lane packets.
+//
+//  * apply_batch(data, count) — lanes = 1 special case (I_count (x) DFT_n),
+//    the stage-1 kernel operating on contiguous pencils.
+//
+//  * apply_strided_inplace(data, stride) — a single pencil transformed in
+//    place at an element stride, the access pattern of the *naive* pencil
+//    baseline the paper criticises. Iterative DIT with bit-reversal; no
+//    buffering, so large strides hit main memory hard — deliberately.
+//
+// Power-of-two sizes run the Stockham/DIT paths; other sizes use small-DFT
+// codelets (n <= 16), the mixed-radix Cooley–Tukey engine (smooth sizes,
+// prime factors <= 7), or Bluestein's chirp-z algorithm on top of the
+// power-of-two engine (everything else).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/types.h"
+#include "fft1d/mixed_radix.h"
+#include "kernels/twiddle.h"
+
+namespace bwfft {
+
+class Fft1d {
+ public:
+  /// Plan a transform of size n (n >= 1, any n) in the given direction.
+  /// Planning precomputes all twiddles; apply* methods are const and
+  /// thread-safe (scratch is per-thread).
+  Fft1d(idx_t n, Direction dir);
+
+  idx_t size() const { return n_; }
+  Direction direction() const { return dir_; }
+
+  /// In-place transform of `count` tiles, each an n x lanes row-major
+  /// block: element (j,l) of tile t lives at data[t*n*lanes + j*lanes + l].
+  void apply_lanes(cplx* data, idx_t lanes, idx_t count) const;
+
+  /// In-place transform of `count` contiguous pencils of length n.
+  void apply_batch(cplx* data, idx_t count) const {
+    apply_lanes(data, 1, count);
+  }
+
+  /// Out-of-place transform of one contiguous pencil (in != out).
+  void apply_oop(const cplx* in, cplx* out) const;
+
+  /// In-place transform of one n x lanes tile whose rows sit at
+  /// `row_stride` elements (element (j,l) at base[j*row_stride + l],
+  /// lanes <= row_stride). The tile is gathered into cache-resident
+  /// scratch, transformed, and scattered back — the buffering approach of
+  /// Frigo et al. [11] used by the slab–pencil baseline's z stage.
+  /// Power-of-two sizes only.
+  void apply_lanes_strided(cplx* base, idx_t lanes, idx_t row_stride) const;
+
+  /// In-place transform of one pencil whose elements sit at `stride`
+  /// (stride >= 1). This path intentionally keeps the strided access
+  /// pattern (naive baseline); power-of-two only.
+  void apply_strided_inplace(cplx* data, idx_t stride) const;
+
+  /// Multiply `count` elements by 1/n — the conventional inverse scaling,
+  /// kept separate so engines can fold it into whichever pass they like.
+  void scale_inverse(cplx* data, idx_t count) const;
+
+ private:
+  void stockham_tile(cplx* tile, cplx* scratch, idx_t lanes) const;
+  void bluestein(cplx* data) const;
+
+  /// One Stockham level: radix 4 while the remaining length divides 4,
+  /// then a final radix-2 level for odd log2(n). Radix-4 halves the number
+  /// of passes over the cached tile relative to pure radix-2.
+  struct StockhamLevel {
+    idx_t radix;  // 4 or 2
+    cvec tw;      // radix-4: {w^p, w^2p, w^3p} triplets; radix-2: w^p
+  };
+
+  idx_t n_;
+  Direction dir_;
+  std::vector<StockhamLevel> slevels_;  // Stockham schedule (pow2 sizes)
+  cvec dit_tw_;                     // DIT twiddles w_n^j, j < n/2
+  std::vector<idx_t> bitrev_;       // bit-reversal permutation
+
+  // Mixed-radix engine (smooth non-power-of-two sizes).
+  std::unique_ptr<MixedRadixFft> mixed_;
+
+  // Bluestein state (non-power-of-two, non-codelet sizes).
+  idx_t conv_n_ = 0;                // power-of-two convolution length
+  cvec chirp_;                      // c[j] = w^{j^2/2}: conjugate chirp
+  cvec chirp_fft_;                  // FFT of the zero-padded chirp kernel
+  std::shared_ptr<const Fft1d> conv_fwd_;
+  std::shared_ptr<const Fft1d> conv_inv_;
+};
+
+}  // namespace bwfft

@@ -1,0 +1,150 @@
+#include "fft1d/fft1d_split.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "kernels/twiddle.h"
+#include "kernels/vecops.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace bwfft {
+
+namespace {
+
+double* split_scratch(std::size_t doubles) {
+  static thread_local dvec scratch;
+  if (scratch.size() < doubles) scratch.resize(doubles);
+  return scratch.data();
+}
+
+/// One split butterfly over a packet of `lanes` values:
+///   lo = a + b;  hi = (a - b) * w   (complex, by components)
+/// All four streams (a_re, a_im, ...) are homogeneous doubles — no lane
+/// shuffles, the point of the block-interleaved format.
+inline void split_butterfly(const double* a, const double* b, double wr,
+                            double wi, double* lo, double* hi, idx_t lanes) {
+  const double* a_re = a;
+  const double* a_im = a + lanes;
+  const double* b_re = b;
+  const double* b_im = b + lanes;
+  double* lo_re = lo;
+  double* lo_im = lo + lanes;
+  double* hi_re = hi;
+  double* hi_im = hi + lanes;
+  idx_t j = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  if (!force_scalar()) {
+    const __m256d vwr = _mm256_set1_pd(wr);
+    const __m256d vwi = _mm256_set1_pd(wi);
+    for (; j + 4 <= lanes; j += 4) {
+      const __m256d ar = _mm256_loadu_pd(a_re + j);
+      const __m256d ai = _mm256_loadu_pd(a_im + j);
+      const __m256d br = _mm256_loadu_pd(b_re + j);
+      const __m256d bi = _mm256_loadu_pd(b_im + j);
+      _mm256_storeu_pd(lo_re + j, _mm256_add_pd(ar, br));
+      _mm256_storeu_pd(lo_im + j, _mm256_add_pd(ai, bi));
+      const __m256d dr = _mm256_sub_pd(ar, br);
+      const __m256d di = _mm256_sub_pd(ai, bi);
+      // (dr + i di)(wr + i wi) = (dr wr - di wi) + i (dr wi + di wr)
+      _mm256_storeu_pd(hi_re + j,
+                       _mm256_fmsub_pd(dr, vwr, _mm256_mul_pd(di, vwi)));
+      _mm256_storeu_pd(hi_im + j,
+                       _mm256_fmadd_pd(dr, vwi, _mm256_mul_pd(di, vwr)));
+    }
+  }
+#endif
+  for (; j < lanes; ++j) {
+    lo_re[j] = a_re[j] + b_re[j];
+    lo_im[j] = a_im[j] + b_im[j];
+    const double dr = a_re[j] - b_re[j];
+    const double di = a_im[j] - b_im[j];
+    hi_re[j] = dr * wr - di * wi;
+    hi_im[j] = dr * wi + di * wr;
+  }
+}
+
+}  // namespace
+
+SplitFft1d::SplitFft1d(idx_t n, Direction dir) : n_(n), dir_(dir) {
+  BWFFT_CHECK(is_pow2(n), "split kernel requires power-of-two n");
+  levels_ = log2_floor(n_);
+  for (idx_t len = n_; len > 1; len >>= 1) {
+    const cvec t = root_table(len, len / 2, dir_);
+    dvec re(t.size()), im(t.size());
+    for (std::size_t p = 0; p < t.size(); ++p) {
+      re[p] = t[p].real();
+      im[p] = t[p].imag();
+    }
+    tw_re_.push_back(std::move(re));
+    tw_im_.push_back(std::move(im));
+  }
+}
+
+void SplitFft1d::stockham_tile(double* tile, double* scratch,
+                               idx_t lanes) const {
+  // Same DIF Stockham schedule as the interleaved kernel; a "packet" here
+  // is the 2*lanes-double split block of one logical row.
+  const idx_t packet = 2 * lanes;
+  double* src = tile;
+  double* dst = scratch;
+  idx_t len = n_;
+  idx_t s = 1;  // packet stride of this level
+  for (int level = 0; level < levels_; ++level) {
+    const idx_t half = len / 2;
+    const dvec& wr = tw_re_[static_cast<std::size_t>(level)];
+    const dvec& wi = tw_im_[static_cast<std::size_t>(level)];
+    for (idx_t p = 0; p < half; ++p) {
+      for (idx_t q = 0; q < s; ++q) {
+        split_butterfly(src + (q + s * p) * packet,
+                        src + (q + s * (p + half)) * packet,
+                        wr[static_cast<std::size_t>(p)],
+                        wi[static_cast<std::size_t>(p)],
+                        dst + (q + s * 2 * p) * packet,
+                        dst + (q + s * (2 * p + 1)) * packet, lanes);
+      }
+    }
+    std::swap(src, dst);
+    len >>= 1;
+    s <<= 1;
+  }
+  if (src != tile) {
+    std::memcpy(tile, src,
+                static_cast<std::size_t>(n_ * packet) * sizeof(double));
+  }
+}
+
+void SplitFft1d::apply_lanes(double* data, idx_t lanes, idx_t count) const {
+  BWFFT_CHECK(lanes >= 1 && count >= 0, "bad lanes/count");
+  if (n_ == 1 || count == 0) return;
+  const std::size_t tile_doubles = static_cast<std::size_t>(2 * n_ * lanes);
+  double* scratch = split_scratch(tile_doubles);
+  for (idx_t t = 0; t < count; ++t) {
+    stockham_tile(data + static_cast<idx_t>(tile_doubles) * t, scratch, lanes);
+  }
+}
+
+void SplitFft1d::pack(const cplx* in, double* out, idx_t n, idx_t lanes) {
+  for (idx_t j = 0; j < n; ++j) {
+    const cplx* row = in + j * lanes;
+    double* re = out + 2 * j * lanes;
+    double* im = re + lanes;
+    for (idx_t l = 0; l < lanes; ++l) {
+      re[l] = row[l].real();
+      im[l] = row[l].imag();
+    }
+  }
+}
+
+void SplitFft1d::unpack(const double* in, cplx* out, idx_t n, idx_t lanes) {
+  for (idx_t j = 0; j < n; ++j) {
+    const double* re = in + 2 * j * lanes;
+    const double* im = re + lanes;
+    cplx* row = out + j * lanes;
+    for (idx_t l = 0; l < lanes; ++l) row[l] = cplx(re[l], im[l]);
+  }
+}
+
+}  // namespace bwfft

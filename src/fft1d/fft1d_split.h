@@ -1,0 +1,55 @@
+// Split-format (block-interleaved) 1D FFT kernel — the "cache aware FFT"
+// data layout of §IV-A (mixed data layout kernels, ref [18]).
+//
+// Complex-interleaved storage forces every SIMD complex multiply to
+// shuffle real/imaginary lanes. Storing blocks of mu real parts followed
+// by the matching mu imaginary parts makes all AVX lanes homogeneous: a
+// butterfly on one packet is pure vertical adds/mults with no shuffles.
+// The paper changes format once on entry to the first stage, computes all
+// stages block-interleaved, and changes back in the last stage; this class
+// provides the compute kernel of that scheme plus the in-cache format
+// changes, and the ablation benchmark quantifies the difference against
+// the interleaved kernel.
+//
+// Tile layout (one tile = one transform batch element): n logical complex
+// rows of `lanes` values, stored as alternating blocks
+//   [re x lanes][im x lanes] [re x lanes][im x lanes] ...
+// i.e. row j's real parts at doubles [2*j*lanes, 2*j*lanes+lanes) and its
+// imaginary parts immediately after.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+class SplitFft1d {
+ public:
+  /// Power-of-two n only (this is a compute kernel for the rotated-stage
+  /// engines, whose pencil lengths are the transform dimensions).
+  SplitFft1d(idx_t n, Direction dir);
+
+  idx_t size() const { return n_; }
+
+  /// In-place transform of `count` block-interleaved tiles of n x lanes.
+  /// `data` holds 2*n*lanes doubles per tile.
+  void apply_lanes(double* data, idx_t lanes, idx_t count) const;
+
+  /// Format changes between complex-interleaved tiles and the split tile
+  /// layout (both n x lanes); dst has 2*n*lanes doubles / n*lanes cplx.
+  static void pack(const cplx* in, double* out, idx_t n, idx_t lanes);
+  static void unpack(const double* in, cplx* out, idx_t n, idx_t lanes);
+
+ private:
+  void stockham_tile(double* tile, double* scratch, idx_t lanes) const;
+
+  idx_t n_;
+  Direction dir_;
+  int levels_ = 0;
+  // Per-level twiddles in structure-of-arrays form for broadcast loads.
+  std::vector<dvec> tw_re_, tw_im_;
+};
+
+}  // namespace bwfft

@@ -1,0 +1,102 @@
+#include "fft1d/mixed_radix.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "kernels/codelets.h"
+#include "kernels/twiddle.h"
+
+namespace bwfft {
+
+namespace {
+
+/// Greedy radix chain: largest codelet factor first. Returns empty if n
+/// cannot be reduced to 1 with codelet radices.
+std::vector<idx_t> radix_chain(idx_t n) {
+  static constexpr idx_t kRadices[] = {16, 8, 7, 6, 5, 4, 3, 2};
+  std::vector<idx_t> chain;
+  while (n > 1) {
+    idx_t picked = 0;
+    for (idx_t r : kRadices) {
+      if (n % r == 0) {
+        picked = r;
+        break;
+      }
+    }
+    if (picked == 0) return {};
+    chain.push_back(picked);
+    n /= picked;
+  }
+  return chain;
+}
+
+}  // namespace
+
+bool MixedRadixFft::supported(idx_t n) {
+  return n >= 1 && !radix_chain(n).empty();
+}
+
+MixedRadixFft::MixedRadixFft(idx_t n, Direction dir) : n_(n), dir_(dir) {
+  BWFFT_CHECK(n >= 2, "mixed radix needs n >= 2");
+  auto chain = radix_chain(n);
+  BWFFT_CHECK(!chain.empty(), "size has prime factors > 7");
+  idx_t len = n;
+  for (idx_t r : chain) {
+    Level lvl;
+    lvl.radix = r;
+    lvl.sub = len / r;
+    if (lvl.sub > 1) {
+      lvl.twiddles.resize(static_cast<std::size_t>(r * lvl.sub));
+      for (idx_t p = 0; p < r; ++p) {
+        for (idx_t q = 0; q < lvl.sub; ++q) {
+          lvl.twiddles[static_cast<std::size_t>(p * lvl.sub + q)] =
+              root_of_unity(len, (p * q) % len, dir_);
+        }
+      }
+    }
+    levels_.push_back(std::move(lvl));
+    len /= r;
+  }
+}
+
+void MixedRadixFft::recurse(const cplx* in, idx_t is, cplx* out,
+                            std::size_t level) const {
+  const Level& lvl = levels_[level];
+  const idx_t a = lvl.radix;
+  const idx_t b = lvl.sub;
+  codelets::CodeletFn fn = codelets::lookup(a);
+  BWFFT_ASSERT(fn != nullptr);
+
+  if (b == 1) {
+    fn(in, is, out, 1, dir_);
+    return;
+  }
+
+  // Decimate: sub-transform p covers in[p], in[p+a], ... (stride is*a).
+  for (idx_t p = 0; p < a; ++p) {
+    recurse(in + p * is, is * a, out + p * b, level + 1);
+  }
+
+  // Combine column-by-column: X[q + b r] = DFT_a over p of w^{pq} B_p[q].
+  // Column q only touches out indices {p b + q} = {q + b r}, so the
+  // gather-codelet-scatter is safely in place.
+  cplx t[codelets::kMaxCodelet], u[codelets::kMaxCodelet];
+  for (idx_t q = 0; q < b; ++q) {
+    for (idx_t p = 0; p < a; ++p) {
+      t[p] = lvl.twiddles[static_cast<std::size_t>(p * b + q)] * out[p * b + q];
+    }
+    fn(t, 1, u, 1, dir_);
+    for (idx_t r = 0; r < a; ++r) out[q + b * r] = u[r];
+  }
+}
+
+void MixedRadixFft::apply(cplx* data) const {
+  static thread_local cvec scratch;
+  if (scratch.size() < static_cast<std::size_t>(n_)) {
+    scratch.resize(static_cast<std::size_t>(n_));
+  }
+  std::memcpy(scratch.data(), data, static_cast<std::size_t>(n_) * sizeof(cplx));
+  recurse(scratch.data(), 1, data, 0);
+}
+
+}  // namespace bwfft

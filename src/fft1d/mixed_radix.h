@@ -1,0 +1,43 @@
+// Mixed-radix Cooley–Tukey engine for smooth non-power-of-two sizes.
+//
+// Factorises n into codelet radices (2..8, 16) and applies the recursive
+// decomposition DFT_n = (combine with twiddles) . (I_a (x) DFT_{n/a}) .
+// (decimate by a) — the general form of the factorisation in §II-D. Sizes
+// whose prime factors exceed 7 fall back to Bluestein in Fft1d. Exact
+// (no chirp approximation) and O(n log n) for smooth n.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+class MixedRadixFft {
+ public:
+  /// True if n factorises completely into codelet radices.
+  static bool supported(idx_t n);
+
+  MixedRadixFft(idx_t n, Direction dir);
+
+  idx_t size() const { return n_; }
+
+  /// In-place transform of one contiguous pencil of length n.
+  void apply(cplx* data) const;
+
+ private:
+  struct Level {
+    idx_t radix;    ///< codelet size a of this level
+    idx_t sub;      ///< remaining transform length b = N_l / a
+    cvec twiddles;  ///< w_{N_l}^{p q}, p < a (row), q < b (column)
+  };
+
+  void recurse(const cplx* in, idx_t is, cplx* out, std::size_t level) const;
+
+  idx_t n_;
+  Direction dir_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace bwfft

@@ -1,0 +1,60 @@
+#include "fft1d/real.h"
+
+#include "common/error.h"
+#include "kernels/twiddle.h"
+
+namespace bwfft {
+
+RealFft1d::RealFft1d(idx_t n)
+    : n_(n),
+      h_(n / 2),
+      fwd_(n / 2 > 0 ? n / 2 : 1, Direction::Forward),
+      inv_(n / 2 > 0 ? n / 2 : 1, Direction::Inverse),
+      w_(root_table(n, n / 2 + 1, Direction::Forward)) {
+  BWFFT_CHECK(n >= 2 && n % 2 == 0, "real FFT needs even n >= 2");
+}
+
+void RealFft1d::forward(const double* in, cplx* out) const {
+  // Pack even/odd samples and transform at half length.
+  cvec z(static_cast<std::size_t>(h_));
+  for (idx_t j = 0; j < h_; ++j) z[static_cast<std::size_t>(j)] = cplx(in[2 * j], in[2 * j + 1]);
+  fwd_.apply_batch(z.data(), 1);
+
+  // Untangle: X[k] = Fe[k] + w_n^k Fo[k] with
+  //   Fe[k] = (Z[k] + conj(Z[h-k]))/2,  Fo[k] = (Z[k] - conj(Z[h-k]))/(2i)
+  // and Z[h] == Z[0].
+  for (idx_t k = 0; k <= h_; ++k) {
+    const cplx zk = z[static_cast<std::size_t>(k % h_)];
+    const cplx zc = std::conj(z[static_cast<std::size_t>((h_ - k) % h_)]);
+    const cplx fe = 0.5 * (zk + zc);
+    const cplx diff = zk - zc;
+    const cplx fo(0.5 * diff.imag(), -0.5 * diff.real());  // diff / (2i)
+    out[k] = fe + w_[static_cast<std::size_t>(k)] * fo;
+  }
+}
+
+void RealFft1d::inverse(const cplx* in, double* out, bool normalize) const {
+  // Retangle: Z[k] = Fe[k] + i Fo[k] with
+  //   Fe[k] = (X[k] + conj(X[h-k]))/2
+  //   Fo[k] = conj(w_n^k) (X[k] - conj(X[h-k]))/2
+  cvec z(static_cast<std::size_t>(h_));
+  for (idx_t k = 0; k < h_; ++k) {
+    const cplx xk = in[k];
+    const cplx xc = std::conj(in[h_ - k]);
+    const cplx fe = 0.5 * (xk + xc);
+    const cplx fo = std::conj(w_[static_cast<std::size_t>(k)]) * (0.5 * (xk - xc));
+    z[static_cast<std::size_t>(k)] = fe + cplx(-fo.imag(), fo.real());  // fe + i fo
+  }
+  inv_.apply_batch(z.data(), 1);
+
+  // The unnormalised half-length inverse yields h * (x_even + i x_odd):
+  // scale by 2 for the n * x convention of the complex engine, or by 1/h
+  // to recover x directly.
+  const double scale = normalize ? 1.0 / static_cast<double>(h_) : 2.0;
+  for (idx_t j = 0; j < h_; ++j) {
+    out[2 * j] = scale * z[static_cast<std::size_t>(j)].real();
+    out[2 * j + 1] = scale * z[static_cast<std::size_t>(j)].imag();
+  }
+}
+
+}  // namespace bwfft

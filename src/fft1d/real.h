@@ -1,0 +1,43 @@
+// Real-to-complex 1D FFT (extension beyond the paper's complex-only
+// scope, provided for downstream users).
+//
+// An n-point real sequence is packed into an n/2-point complex sequence
+// (even samples real part, odd samples imaginary part), transformed with
+// the complex engine, and untangled into the n/2+1 non-redundant spectrum
+// bins; the inverse reverses the untangling. Cost: one half-length
+// complex FFT plus an O(n) pass.
+#pragma once
+
+#include "common/aligned.h"
+#include "common/types.h"
+#include "fft1d/fft1d.h"
+
+namespace bwfft {
+
+class RealFft1d {
+ public:
+  /// n must be even and >= 2 (the half-length transform handles any
+  /// factorisation the complex engine does).
+  explicit RealFft1d(idx_t n);
+
+  idx_t size() const { return n_; }
+  /// Number of complex bins the forward transform produces: n/2 + 1
+  /// (bins 0 and n/2 are purely real for real input).
+  idx_t spectrum_size() const { return n_ / 2 + 1; }
+
+  /// out[k] = sum_j in[j] e^{-2 pi i j k / n}, k = 0 .. n/2. The remaining
+  /// bins are conj-symmetric: X[n-k] = conj(X[k]).
+  void forward(const double* in, cplx* out) const;
+
+  /// Reconstruct the real sequence from the half spectrum. Without
+  /// normalisation the output is n * x (matching the unnormalised complex
+  /// inverse); with normalize = true it is x.
+  void inverse(const cplx* in, double* out, bool normalize = false) const;
+
+ private:
+  idx_t n_, h_;
+  Fft1d fwd_, inv_;
+  cvec w_;  // w_n^k, k = 0 .. h
+};
+
+}  // namespace bwfft

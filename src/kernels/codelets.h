@@ -1,0 +1,33 @@
+// Hand-written small-DFT codelets.
+//
+// Fully unrolled DFTs for sizes 2..8 and 16, parameterised by input and
+// output stride so they can serve as base cases of the mixed-radix engine
+// and as strided pencil kernels. Each codelet is an exact implementation of
+// spl::Dft(n) and is tested against it entry-for-entry.
+#pragma once
+
+#include "common/types.h"
+
+namespace bwfft::codelets {
+
+/// Apply an n-point DFT: out[k*os] = sum_l w^{kl} in[l*is]. `in` and `out`
+/// must not alias (use a temporary for in-place application).
+using CodeletFn = void (*)(const cplx* in, idx_t is, cplx* out, idx_t os,
+                           Direction dir);
+
+void dft2(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft3(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft4(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft5(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft6(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft7(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft8(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+void dft16(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
+
+/// Codelet lookup; returns nullptr if no codelet exists for n.
+CodeletFn lookup(idx_t n);
+
+/// Largest size for which a codelet exists.
+inline constexpr idx_t kMaxCodelet = 16;
+
+}  // namespace bwfft::codelets

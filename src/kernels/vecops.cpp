@@ -1,0 +1,16 @@
+#include "kernels/vecops.h"
+
+#include <atomic>
+
+namespace bwfft {
+
+namespace {
+std::atomic<bool> g_force_scalar{false};
+}
+
+bool force_scalar() { return g_force_scalar.load(std::memory_order_relaxed); }
+void set_force_scalar(bool v) {
+  g_force_scalar.store(v, std::memory_order_relaxed);
+}
+
+}  // namespace bwfft

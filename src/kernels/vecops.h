@@ -1,0 +1,193 @@
+// SIMD micro-operations on packets of interleaved complex doubles.
+//
+// The compute kernels operate on mu-element cacheline packets (§IV-A,
+// "cache aware FFT"): a 64-byte packet holds four complex doubles, i.e.
+// two AVX registers. The three primitives the Stockham butterfly needs are
+// packet add, packet subtract, and multiply-packet-by-one-complex-scalar;
+// each has an AVX2+FMA implementation and a portable scalar fallback
+// selected at compile time. `force_scalar()` lets the ablation benchmarks
+// disable the vector path at run time.
+#pragma once
+
+#include "common/types.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace bwfft {
+
+/// Runtime switch (for ablation benches/tests): when true, all packet ops
+/// take the scalar path even on AVX builds.
+bool force_scalar();
+void set_force_scalar(bool v);
+
+namespace vecops {
+
+/// dst[j] = a[j] + b[j], j < count (complex).
+inline void cadd(const cplx* a, const cplx* b, cplx* dst, idx_t count) {
+  for (idx_t j = 0; j < count; ++j) dst[j] = a[j] + b[j];
+}
+
+/// dst[j] = (a[j] - b[j]) * w, j < count — the twiddled half of a DIF
+/// butterfly, with one complex scalar w broadcast over the packet.
+inline void csub_mul_scalar(const cplx* a, const cplx* b, cplx w, cplx* dst,
+                            idx_t count) {
+  for (idx_t j = 0; j < count; ++j) dst[j] = (a[j] - b[j]) * w;
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+/// Complex multiply of two interleaved-complex AVX registers by one
+/// broadcast complex scalar (wr, wi):
+///   out.re = v.re*wr - v.im*wi,  out.im = v.im*wr + v.re*wi
+inline __m256d cmul_scalar(__m256d v, __m256d wr, __m256d wi) {
+  const __m256d swapped = _mm256_permute_pd(v, 0b0101);  // [im, re, im, re]
+  return _mm256_fmaddsub_pd(v, wr, _mm256_mul_pd(swapped, wi));
+}
+
+#if defined(__AVX512F__)
+/// 512-bit variant: four interleaved complex doubles per register.
+inline __m512d cmul_scalar512(__m512d v, __m512d wr, __m512d wi) {
+  const __m512d swapped = _mm512_permute_pd(v, 0b01010101);
+  return _mm512_fmaddsub_pd(v, wr, _mm512_mul_pd(swapped, wi));
+}
+#endif
+
+/// Vector form of a whole DIF butterfly on `count` complex values:
+///   lo[j] = a[j] + b[j];  hi[j] = (a[j] - b[j]) * w
+/// `count` must be even (each __m256d holds two complex doubles).
+inline void butterfly_packets(const cplx* a, const cplx* b, cplx w, cplx* lo,
+                              cplx* hi, idx_t count) {
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  double* plo = reinterpret_cast<double*>(lo);
+  double* phi = reinterpret_cast<double*>(hi);
+  idx_t j = 0;
+#if defined(__AVX512F__)
+  {
+    const __m512d wr = _mm512_set1_pd(w.real());
+    const __m512d wi = _mm512_set1_pd(w.imag());
+    for (; j + 4 <= count; j += 4) {
+      const __m512d va = _mm512_loadu_pd(pa + 2 * j);
+      const __m512d vb = _mm512_loadu_pd(pb + 2 * j);
+      _mm512_storeu_pd(plo + 2 * j, _mm512_add_pd(va, vb));
+      _mm512_storeu_pd(phi + 2 * j,
+                       cmul_scalar512(_mm512_sub_pd(va, vb), wr, wi));
+    }
+  }
+#endif
+  const __m256d wr = _mm256_set1_pd(w.real());
+  const __m256d wi = _mm256_set1_pd(w.imag());
+  for (; j < count; j += 2) {
+    const __m256d va = _mm256_loadu_pd(pa + 2 * j);
+    const __m256d vb = _mm256_loadu_pd(pb + 2 * j);
+    _mm256_storeu_pd(plo + 2 * j, _mm256_add_pd(va, vb));
+    _mm256_storeu_pd(phi + 2 * j, cmul_scalar(_mm256_sub_pd(va, vb), wr, wi));
+  }
+}
+
+/// Multiply by -i (forward) / +i (inverse): (re,im) -> (im,-re) / (-im,re).
+inline __m256d rot90v(__m256d v, Direction dir) {
+  const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+  const __m256d mask = dir == Direction::Forward
+                           ? _mm256_set_pd(-0.0, 0.0, -0.0, 0.0)
+                           : _mm256_set_pd(0.0, -0.0, 0.0, -0.0);
+  return _mm256_xor_pd(swapped, mask);
+}
+
+/// Radix-4 DIF butterfly on `count` complex values (count even):
+///   y0 = (a+c) + (b+d)
+///   y1 = w1 ((a-c) + rot90(b-d))
+///   y2 = w2 ((a+c) - (b+d))
+///   y3 = w3 ((a-c) - rot90(b-d))
+/// where rot90 multiplies by -i forward / +i inverse.
+inline void butterfly4_packets(const cplx* a, const cplx* b, const cplx* c,
+                               const cplx* d, cplx w1, cplx w2, cplx w3,
+                               cplx* y0, cplx* y1, cplx* y2, cplx* y3,
+                               idx_t count, Direction dir) {
+  const __m256d w1r = _mm256_set1_pd(w1.real()), w1i = _mm256_set1_pd(w1.imag());
+  const __m256d w2r = _mm256_set1_pd(w2.real()), w2i = _mm256_set1_pd(w2.imag());
+  const __m256d w3r = _mm256_set1_pd(w3.real()), w3i = _mm256_set1_pd(w3.imag());
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  const double* pc = reinterpret_cast<const double*>(c);
+  const double* pd = reinterpret_cast<const double*>(d);
+  double* p0 = reinterpret_cast<double*>(y0);
+  double* p1 = reinterpret_cast<double*>(y1);
+  double* p2 = reinterpret_cast<double*>(y2);
+  double* p3 = reinterpret_cast<double*>(y3);
+  for (idx_t j = 0; j < count; j += 2) {
+    const __m256d va = _mm256_loadu_pd(pa + 2 * j);
+    const __m256d vb = _mm256_loadu_pd(pb + 2 * j);
+    const __m256d vc = _mm256_loadu_pd(pc + 2 * j);
+    const __m256d vd = _mm256_loadu_pd(pd + 2 * j);
+    const __m256d apc = _mm256_add_pd(va, vc);
+    const __m256d amc = _mm256_sub_pd(va, vc);
+    const __m256d bpd = _mm256_add_pd(vb, vd);
+    const __m256d rbd = rot90v(_mm256_sub_pd(vb, vd), dir);
+    _mm256_storeu_pd(p0 + 2 * j, _mm256_add_pd(apc, bpd));
+    _mm256_storeu_pd(p1 + 2 * j,
+                     cmul_scalar(_mm256_add_pd(amc, rbd), w1r, w1i));
+    _mm256_storeu_pd(p2 + 2 * j,
+                     cmul_scalar(_mm256_sub_pd(apc, bpd), w2r, w2i));
+    _mm256_storeu_pd(p3 + 2 * j,
+                     cmul_scalar(_mm256_sub_pd(amc, rbd), w3r, w3i));
+  }
+}
+
+inline constexpr bool kHaveAvx2Fma = true;
+
+#else
+
+inline void butterfly_packets(const cplx* a, const cplx* b, cplx w, cplx* lo,
+                              cplx* hi, idx_t count) {
+  cadd(a, b, lo, count);
+  csub_mul_scalar(a, b, w, hi, count);
+}
+
+inline constexpr bool kHaveAvx2Fma = false;
+
+#endif
+
+/// Scalar fallback with identical semantics to butterfly_packets.
+inline void butterfly_packets_scalar(const cplx* a, const cplx* b, cplx w,
+                                     cplx* lo, cplx* hi, idx_t count) {
+  cadd(a, b, lo, count);
+  csub_mul_scalar(a, b, w, hi, count);
+}
+
+/// Scalar radix-4 DIF butterfly with identical semantics to
+/// butterfly4_packets.
+inline void butterfly4_packets_scalar(const cplx* a, const cplx* b,
+                                      const cplx* c, const cplx* d, cplx w1,
+                                      cplx w2, cplx w3, cplx* y0, cplx* y1,
+                                      cplx* y2, cplx* y3, idx_t count,
+                                      Direction dir) {
+  for (idx_t j = 0; j < count; ++j) {
+    const cplx apc = a[j] + c[j];
+    const cplx amc = a[j] - c[j];
+    const cplx bpd = b[j] + d[j];
+    const cplx bmd = b[j] - d[j];
+    const cplx rbd = dir == Direction::Forward
+                         ? cplx(bmd.imag(), -bmd.real())
+                         : cplx(-bmd.imag(), bmd.real());
+    y0[j] = apc + bpd;
+    y1[j] = w1 * (amc + rbd);
+    y2[j] = w2 * (apc - bpd);
+    y3[j] = w3 * (amc - rbd);
+  }
+}
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+inline void butterfly4_packets(const cplx* a, const cplx* b, const cplx* c,
+                               const cplx* d, cplx w1, cplx w2, cplx w3,
+                               cplx* y0, cplx* y1, cplx* y2, cplx* y3,
+                               idx_t count, Direction dir) {
+  butterfly4_packets_scalar(a, b, c, d, w1, w2, w3, y0, y1, y2, y3, count,
+                            dir);
+}
+#endif
+
+}  // namespace vecops
+}  // namespace bwfft

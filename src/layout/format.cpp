@@ -1,0 +1,42 @@
+#include "layout/format.h"
+
+#include "common/error.h"
+
+namespace bwfft {
+
+void to_split(const cplx* in, double* re, double* im, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    re[i] = in[i].real();
+    im[i] = in[i].imag();
+  }
+}
+
+void from_split(const double* re, const double* im, cplx* out, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) out[i] = cplx(re[i], im[i]);
+}
+
+void to_block_interleaved(const cplx* in, double* out, idx_t n, idx_t block) {
+  BWFFT_CHECK(block > 0 && n % block == 0, "block must divide n");
+  for (idx_t g = 0; g < n / block; ++g) {
+    double* re = out + 2 * g * block;
+    double* im = re + block;
+    const cplx* src = in + g * block;
+    for (idx_t j = 0; j < block; ++j) {
+      re[j] = src[j].real();
+      im[j] = src[j].imag();
+    }
+  }
+}
+
+void from_block_interleaved(const double* in, cplx* out, idx_t n,
+                            idx_t block) {
+  BWFFT_CHECK(block > 0 && n % block == 0, "block must divide n");
+  for (idx_t g = 0; g < n / block; ++g) {
+    const double* re = in + 2 * g * block;
+    const double* im = re + block;
+    cplx* dst = out + g * block;
+    for (idx_t j = 0; j < block; ++j) dst[j] = cplx(re[j], im[j]);
+  }
+}
+
+}  // namespace bwfft

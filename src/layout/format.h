@@ -1,0 +1,27 @@
+// Complex data-format changes (§IV-A, "cache aware FFT", ref [18]).
+//
+// The paper's compute kernels switch from complex-interleaved storage
+// (re,im,re,im,...) to a block-interleaved format — blocks of `block`
+// real parts followed by the matching imaginary parts — because separating
+// components lets AVX operate on homogeneous lanes. The format change is
+// applied once on entry to the first stage and undone in the last; between
+// stages data stays block-interleaved. These kernels implement the change
+// and are used by the format-ablation benchmark and the split-format
+// compute path.
+#pragma once
+
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Fully split: re[i] = in[i].re, im[i] = in[i].im.
+void to_split(const cplx* in, double* re, double* im, idx_t n);
+void from_split(const double* re, const double* im, cplx* out, idx_t n);
+
+/// Block-interleaved with block size `block` (block | n): each group of
+/// `block` complex values is stored as `block` reals then `block` imags,
+/// in place of the interleaved pairs. `out` must hold 2*n doubles.
+void to_block_interleaved(const cplx* in, double* out, idx_t n, idx_t block);
+void from_block_interleaved(const double* in, cplx* out, idx_t n, idx_t block);
+
+}  // namespace bwfft

@@ -1,0 +1,41 @@
+#include "layout/rotate.h"
+
+#include "common/error.h"
+#include "layout/stream_copy.h"
+
+namespace bwfft {
+
+void rotate_cube(const cplx* in, cplx* out, idx_t a, idx_t b, idx_t c) {
+  BWFFT_ASSERT(in != out);
+  for (idx_t ai = 0; ai < a; ++ai) {
+    for (idx_t bi = 0; bi < b; ++bi) {
+      const cplx* row = in + (ai * b + bi) * c;
+      for (idx_t ci = 0; ci < c; ++ci) {
+        out[ci * a * b + ai * b + bi] = row[ci];
+      }
+    }
+  }
+}
+
+void rotate_cube_packets(const cplx* in, cplx* out, idx_t a, idx_t b,
+                         idx_t cp, idx_t mu, bool nontemporal) {
+  rotate_store_rows(in, out, 0, a * b, a, b, cp, mu, nontemporal);
+}
+
+void rotate_store_rows(const cplx* buf, cplx* out, idx_t row0, idx_t nrows,
+                       idx_t a, idx_t b, idx_t cp, idx_t mu,
+                       bool nontemporal) {
+  const idx_t plane = a * b;  // packets per output "ci" plane
+  for (idx_t r = 0; r < nrows; ++r) {
+    const idx_t row = row0 + r;
+    const cplx* src = buf + r * cp * mu;
+    // The cp packets of one row scatter at stride plane*mu — the large
+    // write stride the paper pays for with non-temporal stores.
+    for (idx_t p = 0; p < cp; ++p) {
+      store_packet(out + (p * plane + row) * mu, src + p * mu, mu,
+                   nontemporal);
+    }
+  }
+}
+
+}  // namespace bwfft

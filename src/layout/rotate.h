@@ -1,0 +1,34 @@
+// 3D rotation kernels — the K operators of §III-A (Fig 5).
+//
+// K_c^{a,b} rotates a row-major cube a x b x c (c fastest) into the cube
+// c x a x b, moving the just-transformed dimension out of the fast slot and
+// the next transform dimension into it. The blocked form (K (x) I_mu)
+// rotates mu-element cacheline packets; its per-row variant is the store
+// half of the paper's W_{b,i} matrices and is what the soft-DMA data
+// threads execute.
+#pragma once
+
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Element rotation: out[ci*(a*b) + ai*b + bi] = in[ai*(b*c) + bi*c + ci].
+/// Equivalent to spl::rotation_k(a, b, c). in != out.
+void rotate_cube(const cplx* in, cplx* out, idx_t a, idx_t b, idx_t c);
+
+/// Blocked rotation (K_{cp}^{a,b} (x) I_mu): the cube is a x b x cp in
+/// mu-element packets. Equivalent to spl::rotation_k_blocked(a,b,cp*mu,mu).
+void rotate_cube_packets(const cplx* in, cplx* out, idx_t a, idx_t b,
+                         idx_t cp, idx_t mu, bool nontemporal = false);
+
+/// Store side of the tiled stage (§III-B): rows [row0, row0+nrows) of the
+/// cube's a*b rows — each row is cp mu-packets, contiguous in `buf`
+/// starting at its local row 0 — are scattered to their rotated positions
+/// in `out` (the full cube). Row r (global index over a*b) packet p lands
+/// at out[(p*(a*b) + r) * mu]. This is exactly
+/// W_{b,i} = (K (x) I_mu) . S_{...,b,i} restricted to the given rows.
+void rotate_store_rows(const cplx* buf, cplx* out, idx_t row0, idx_t nrows,
+                       idx_t a, idx_t b, idx_t cp, idx_t mu,
+                       bool nontemporal = true);
+
+}  // namespace bwfft

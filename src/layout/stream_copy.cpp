@@ -1,0 +1,61 @@
+#include "layout/stream_copy.h"
+
+#include <cstring>
+
+#if defined(__AVX__)
+#include <immintrin.h>
+#endif
+
+namespace bwfft {
+
+namespace {
+
+inline bool aligned32(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 31u) == 0;
+}
+
+}  // namespace
+
+void copy_stream(cplx* dst, const cplx* src, idx_t count, bool nontemporal) {
+#if defined(__AVX__)
+  if (nontemporal && aligned32(dst)) {
+    double* d = reinterpret_cast<double*>(dst);
+    const double* s = reinterpret_cast<const double*>(src);
+    idx_t doubles = 2 * count;
+    idx_t j = 0;
+    for (; j + 4 <= doubles; j += 4) {
+      _mm256_stream_pd(d + j, _mm256_loadu_pd(s + j));
+    }
+    for (; j < doubles; ++j) d[j] = s[j];
+    return;
+  }
+#endif
+  (void)nontemporal;
+  std::memcpy(dst, src, static_cast<std::size_t>(count) * sizeof(cplx));
+}
+
+void store_packet(cplx* dst, const cplx* src, idx_t mu, bool nontemporal) {
+  copy_stream(dst, src, mu, nontemporal);
+}
+
+void stream_fence() {
+#if defined(__AVX__)
+  _mm_sfence();
+#endif
+}
+
+void fill_stream(cplx* dst, cplx value, idx_t count, bool nontemporal) {
+#if defined(__AVX__)
+  if (nontemporal && aligned32(dst) && count % 2 == 0) {
+    const __m256d v = _mm256_set_pd(value.imag(), value.real(), value.imag(),
+                                    value.real());
+    double* d = reinterpret_cast<double*>(dst);
+    for (idx_t j = 0; j + 4 <= 2 * count; j += 4) _mm256_stream_pd(d + j, v);
+    return;
+  }
+#endif
+  (void)nontemporal;
+  for (idx_t i = 0; i < count; ++i) dst[i] = value;
+}
+
+}  // namespace bwfft

@@ -1,0 +1,32 @@
+// Streaming (non-temporal) memory movement.
+//
+// §IV-A of the paper: only the R (read) and W (write) matrices touch main
+// memory, so only they use non-temporal instructions. R must read
+// non-temporally but store *temporally* into the shared cache buffer (the
+// compute threads consume it next iteration); W may both read and write
+// non-temporally because the computed block is not needed until the next
+// FFT stage. These helpers implement the store side; non-temporal loads on
+// x86 (MOVNTDQA) only help from WC memory, so loads use regular temporal
+// instructions plus the hardware prefetcher, like production FFT codes do.
+#pragma once
+
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Copy `count` complex elements. When `nontemporal` and the destination is
+/// 32-byte aligned, whole cachelines are written with streaming stores that
+/// bypass the cache hierarchy; otherwise a regular copy.
+void copy_stream(cplx* dst, const cplx* src, idx_t count, bool nontemporal);
+
+/// Store one mu-element packet (dst and src do not overlap).
+void store_packet(cplx* dst, const cplx* src, idx_t mu, bool nontemporal);
+
+/// Order streaming stores before subsequent loads (SFENCE); call once per
+/// pipeline iteration after the W-matrix stores.
+void stream_fence();
+
+/// Fill with streaming stores (used by STREAM-style initialisation).
+void fill_stream(cplx* dst, cplx value, idx_t count, bool nontemporal);
+
+}  // namespace bwfft

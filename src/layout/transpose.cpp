@@ -1,0 +1,55 @@
+#include "layout/transpose.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "layout/stream_copy.h"
+
+namespace bwfft {
+
+void transpose(const cplx* in, cplx* out, idx_t rows, idx_t cols) {
+  BWFFT_ASSERT(in != out);
+  for (idx_t r = 0; r < rows; ++r) {
+    for (idx_t c = 0; c < cols; ++c) {
+      out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+void transpose_packets(const cplx* in, cplx* out, idx_t rows, idx_t cols,
+                       idx_t mu, bool nontemporal) {
+  BWFFT_ASSERT(in != out);
+  // Tile the packet grid so both the reads and the writes keep some
+  // locality; the store side may stream past the cache.
+  constexpr idx_t kTile = 16;
+  for (idx_t r0 = 0; r0 < rows; r0 += kTile) {
+    const idx_t r1 = std::min(r0 + kTile, rows);
+    for (idx_t c0 = 0; c0 < cols; c0 += kTile) {
+      const idx_t c1 = std::min(c0 + kTile, cols);
+      for (idx_t r = r0; r < r1; ++r) {
+        for (idx_t c = c0; c < c1; ++c) {
+          store_packet(out + (c * rows + r) * mu, in + (r * cols + c) * mu, mu,
+                       nontemporal);
+        }
+      }
+    }
+  }
+}
+
+void transpose_tiled(const cplx* in, cplx* out, idx_t rows, idx_t cols,
+                     idx_t tile) {
+  BWFFT_ASSERT(in != out);
+  for (idx_t r0 = 0; r0 < rows; r0 += tile) {
+    const idx_t r1 = std::min(r0 + tile, rows);
+    for (idx_t c0 = 0; c0 < cols; c0 += tile) {
+      const idx_t c1 = std::min(c0 + tile, cols);
+      for (idx_t r = r0; r < r1; ++r) {
+        for (idx_t c = c0; c < c1; ++c) {
+          out[c * rows + r] = in[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bwfft

@@ -1,0 +1,28 @@
+// Transposition kernels — the L (stride permutation) operators of §III-A.
+//
+// `transpose` is the element-wise L; `transpose_packets` is the blocked
+// form (L (x) I_mu) that moves whole cacheline packets, which the paper
+// adopts because it vectorises with SIMD and avoids false sharing. Both
+// are out-of-place (in != out) and validated against spl::StridePerm.
+#pragma once
+
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Element transpose: `in` viewed as rows x cols row-major; `out` becomes
+/// cols x rows. Equivalent to spl::stride_perm(rows*cols, cols).
+void transpose(const cplx* in, cplx* out, idx_t rows, idx_t cols);
+
+/// Blocked transpose (L_{cols}^{rows*cols} (x) I_mu) on mu-element packets:
+/// `in` is a rows x cols row-major grid of packets; `out` the transposed
+/// grid. With nontemporal=true the packet stores bypass the cache.
+void transpose_packets(const cplx* in, cplx* out, idx_t rows, idx_t cols,
+                       idx_t mu, bool nontemporal = false);
+
+/// Loop-tiled element transpose used by the baselines for large matrices;
+/// same semantics as transpose().
+void transpose_tiled(const cplx* in, cplx* out, idx_t rows, idx_t cols,
+                     idx_t tile = 32);
+
+}  // namespace bwfft

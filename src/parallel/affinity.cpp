@@ -1,0 +1,37 @@
+#include "parallel/affinity.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace bwfft {
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  const long ncpus = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cpu < 0 || cpu >= ncpus) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool unpin_current_thread() {
+#if defined(__linux__)
+  const long ncpus = sysconf(_SC_NPROCESSORS_ONLN);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (long c = 0; c < ncpus; ++c) CPU_SET(static_cast<int>(c), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace bwfft

@@ -1,0 +1,65 @@
+// Centralised generation-counting spin barrier.
+//
+// The paper synchronises its compute and data threads with barriers at
+// every software-pipeline step (#pragma omp barrier in their template).
+// This barrier spins briefly (the common case: all threads arrive within a
+// pipeline iteration) and then yields, so it also behaves well when the
+// team is oversubscribed on fewer physical cores.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+#include "common/error.h"
+
+namespace bwfft {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {
+    BWFFT_CHECK(parties >= 1, "barrier needs >= 1 party");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all parties have arrived. Safe for repeated use: a
+  /// generation counter distinguishes consecutive phases.
+  void arrive_and_wait() {
+    const unsigned gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (gen_.load(std::memory_order_acquire) == gen) {
+      if (++spins < 1024) {
+        cpu_pause();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  const int parties_;
+  std::atomic<int> count_{0};
+  std::atomic<unsigned> gen_{0};
+};
+
+}  // namespace bwfft

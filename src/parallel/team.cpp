@@ -1,0 +1,88 @@
+#include "parallel/team.h"
+
+#include "common/error.h"
+#include "common/types.h"
+#include "parallel/affinity.h"
+
+namespace bwfft {
+
+ThreadTeam::ThreadTeam(int nthreads, std::vector<int> pin_cpus)
+    : barrier_(nthreads) {
+  BWFFT_CHECK(nthreads >= 1, "team needs >= 1 thread");
+  BWFFT_CHECK(pin_cpus.empty() ||
+                  static_cast<int>(pin_cpus.size()) == nthreads,
+              "pin_cpus must be empty or one entry per thread");
+  workers_.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    const int cpu = pin_cpus.empty() ? -1 : pin_cpus[static_cast<std::size_t>(t)];
+    workers_.emplace_back([this, t, cpu] { worker_loop(t, cpu); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_loop(int tid, int pin_cpu) {
+  if (pin_cpu >= 0) pin_current_thread(pin_cpu);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      (*job)(tid);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadTeam::run(const std::function<void(int)>& f) {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    job_ = &f;
+    remaining_ = size();
+    first_error_ = nullptr;
+    ++epoch_;
+    cv_start_.notify_all();
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    err = first_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+std::pair<idx_t, idx_t> ThreadTeam::chunk(idx_t total, int parts, int which) {
+  const idx_t base = total / parts;
+  const idx_t extra = total % parts;
+  const idx_t begin = which * base + std::min<idx_t>(which, extra);
+  const idx_t len = base + (which < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void parallel_for_chunks(ThreadTeam& team, idx_t total,
+                         const std::function<void(int, idx_t, idx_t)>& f) {
+  team.run([&](int tid) {
+    auto [b, e] = ThreadTeam::chunk(total, team.size(), tid);
+    f(tid, b, e);
+  });
+}
+
+}  // namespace bwfft

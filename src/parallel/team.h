@@ -1,0 +1,67 @@
+// Persistent SPMD thread team — the parallel-region substrate.
+//
+// Mirrors the paper's use of `#pragma omp parallel`: a fixed team of
+// threads executes the same function, branching on the thread id to decide
+// whether it is a compute thread or a soft-DMA data thread, and meeting at
+// team barriers between pipeline steps. Threads are created once and
+// reused across invocations; each may be pinned to a logical CPU.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "parallel/barrier.h"
+
+namespace bwfft {
+
+class ThreadTeam {
+ public:
+  /// Create `nthreads` workers. `pin_cpus`, if non-empty, gives the logical
+  /// CPU for each worker (best effort).
+  explicit ThreadTeam(int nthreads, std::vector<int> pin_cpus = {});
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Execute f(tid) on every worker, tid in [0, size()); blocks the caller
+  /// until all workers finish. Exceptions thrown inside f are rethrown on
+  /// the calling thread (first one wins).
+  void run(const std::function<void(int)>& f);
+
+  /// Team-wide barrier usable inside run() bodies.
+  SpinBarrier& barrier() { return barrier_; }
+
+  /// Split [0, total) into size() near-equal chunks; returns [begin,end)
+  /// for this tid. Chunks differ in size by at most one.
+  static std::pair<idx_t, idx_t> chunk(idx_t total, int parts, int which);
+
+ private:
+  void worker_loop(int tid, int pin_cpu);
+
+  std::vector<std::thread> workers_;
+  SpinBarrier barrier_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;   // incremented per run(); workers watch it
+  int remaining_ = 0;         // workers still executing the current job
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience: distribute [0, total) across the team and call
+/// f(tid, begin, end) on each worker.
+void parallel_for_chunks(ThreadTeam& team, idx_t total,
+                         const std::function<void(int, idx_t, idx_t)>& f);
+
+}  // namespace bwfft

@@ -1,0 +1,138 @@
+#include "pipeline/pipeline.h"
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "layout/stream_copy.h"
+
+namespace bwfft {
+
+DoubleBufferPipeline::DoubleBufferPipeline(ThreadTeam& team, RolePlan roles,
+                                           idx_t block_elems)
+    : team_(team),
+      roles_(std::move(roles)),
+      block_elems_(block_elems),
+      buffer_(static_cast<std::size_t>(2 * block_elems)) {
+  BWFFT_CHECK(block_elems > 0, "pipeline block must be non-empty");
+  BWFFT_CHECK(roles_.total == team.size(),
+              "role plan size must match team size");
+}
+
+void DoubleBufferPipeline::record(idx_t step, TraceEvent::Kind kind,
+                                  idx_t iter, int h, int tid) {
+  if (!trace_) return;
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  trace_->push_back({step, kind, iter, h, tid});
+}
+
+void DoubleBufferPipeline::execute(const PipelineStage& stage) {
+  BWFFT_CHECK(stage.iterations >= 1, "stage needs >= 1 iteration");
+  const idx_t iters = stage.iterations;
+  const bool util = collect_util_;
+  if (util) util_ = RoleUtilization{};
+  Timer wall;
+
+  // Per-thread busy-time accumulation, merged under the trace mutex when
+  // the thread finishes its run body.
+  auto merge_util = [&](double load_s, double compute_s, double store_s) {
+    if (!util) return;
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    util_.load_seconds += load_s;
+    util_.compute_seconds += compute_s;
+    util_.store_seconds += store_s;
+  };
+
+  if (roles_.data == 0) {
+    // No soft-DMA threads: sequential load/compute/store per iteration on
+    // the compute group. Correct, but with no overlap.
+    team_.run([&](int tid) {
+      const int rank = roles_.group_rank(tid);
+      const int parts = roles_.compute;
+      double t_load = 0, t_comp = 0, t_store = 0;
+      for (idx_t i = 0; i < iters; ++i) {
+        cplx* buf = half(static_cast<int>(i % 2));
+        Timer t;
+        stage.load(i, buf, rank, parts);
+        t_load += t.seconds();
+        record(i, TraceEvent::Kind::Load, i, static_cast<int>(i % 2), tid);
+        team_.barrier().arrive_and_wait();
+        t.reset();
+        stage.compute(i, buf, rank, parts);
+        t_comp += t.seconds();
+        record(i, TraceEvent::Kind::Compute, i, static_cast<int>(i % 2), tid);
+        team_.barrier().arrive_and_wait();
+        t.reset();
+        stage.store(i, buf, rank, parts);
+        t_store += t.seconds();
+        record(i, TraceEvent::Kind::Store, i, static_cast<int>(i % 2), tid);
+        team_.barrier().arrive_and_wait();
+      }
+      merge_util(t_load, t_comp, t_store);
+    });
+    if (util) util_.wall_seconds = wall.seconds();
+    return;
+  }
+
+  // Table II schedule. Steps 0 .. iters+1; at step i the data threads
+  // retire block i-2 and fetch block i on half (i mod 2) while the compute
+  // threads transform block i-1 on the other half.
+  team_.run([&](int tid) {
+    const bool is_compute = roles_.is_compute(tid);
+    const int rank = roles_.group_rank(tid);
+    const int parts = is_compute ? roles_.compute : roles_.data;
+    double t_load = 0, t_comp = 0, t_store = 0;
+    for (idx_t step = 0; step < iters + 2; ++step) {
+      if (!is_compute) {
+        const int h = static_cast<int>(step % 2);
+        if (step >= 2) {
+          Timer t;
+          stage.store(step - 2, half(h), rank, parts);
+          t_store += t.seconds();
+          record(step, TraceEvent::Kind::Store, step - 2, h, tid);
+        }
+        if (step < iters) {
+          Timer t;
+          stage.load(step, half(h), rank, parts);
+          t_load += t.seconds();
+          record(step, TraceEvent::Kind::Load, step, h, tid);
+        }
+        // Make the streaming stores of this step globally visible before
+        // the barrier hands the half back to the compute threads.
+        stream_fence();
+      } else {
+        if (step >= 1 && step <= iters) {
+          const int h = static_cast<int>((step + 1) % 2);
+          Timer t;
+          stage.compute(step - 1, half(h), rank, parts);
+          t_comp += t.seconds();
+          record(step, TraceEvent::Kind::Compute, step - 1, h, tid);
+        }
+      }
+      team_.barrier().arrive_and_wait();
+    }
+    merge_util(t_load, t_comp, t_store);
+  });
+  if (util) util_.wall_seconds = wall.seconds();
+}
+
+void DoubleBufferPipeline::execute_unpipelined(const PipelineStage& stage) {
+  BWFFT_CHECK(stage.iterations >= 1, "stage needs >= 1 iteration");
+  team_.run([&](int tid) {
+    const int parts = roles_.total;
+    for (idx_t i = 0; i < stage.iterations; ++i) {
+      cplx* buf = half(0);
+      stage.load(i, buf, tid, parts);
+      team_.barrier().arrive_and_wait();
+      stage.compute(i, buf, tid, parts);
+      team_.barrier().arrive_and_wait();
+      stage.store(i, buf, tid, parts);
+      team_.barrier().arrive_and_wait();
+    }
+  });
+}
+
+idx_t default_block_elems(const MachineTopology& topo) {
+  // Both halves together occupy LLC/2 (§IV-A): per-half block = LLC/4.
+  return std::max<idx_t>(topo.shared_buffer_elems() / 2, 1);
+}
+
+}  // namespace bwfft

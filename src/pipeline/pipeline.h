@@ -1,0 +1,116 @@
+// Double-buffered software pipeline — the paper's core mechanism
+// (§III-B/III-C, Table II, Fig 6).
+//
+// A stage of the multidimensional FFT is tiled into `iterations` blocks.
+// Each block passes through three tasks:
+//
+//   Load    t[i mod 2] = R_{b,i} x        (data threads, streaming read)
+//   Compute t[h] = (I_{b/m} (x) DFT_m) t[h]   (compute threads, in cache)
+//   Store   y = W_{b,i} t[i mod 2]        (data threads, rotated NT write)
+//
+// Software pipelining skews the tasks across a double buffer t[0]/t[1] so
+// that while the compute threads work on one half, the data threads retire
+// the previous block and stream in the next (Table II):
+//
+//   step i:  data threads:    Store(i-2) then Load(i)   on t[i mod 2]
+//            compute threads: Compute(i-1)              on t[(i+1) mod 2]
+//            team barrier
+//
+// Steps 0..1 form the prologue, steps 2..iterations-1 the steady state and
+// steps iterations..iterations+1 the epilogue. The store precedes the load
+// on the same half and both are partitioned identically across the data
+// threads, so no thread overwrites a region another is still storing.
+//
+// The shared buffer lives in the last-level cache: its total size follows
+// the paper's policy b = LLC/2 (both halves together), leaving the rest of
+// the LLC for twiddles and temporaries (§IV-A).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/topology.h"
+#include "parallel/roles.h"
+#include "parallel/team.h"
+
+namespace bwfft {
+
+/// Callbacks of one tiled stage. Each receives the block index, the buffer
+/// half to use, and its partition (rank of `parts`); implementations must
+/// touch only their partition so tasks can run concurrently.
+struct PipelineStage {
+  idx_t iterations = 0;
+  std::function<void(idx_t iter, cplx* buf, int rank, int parts)> load;
+  std::function<void(idx_t iter, cplx* buf, int rank, int parts)> compute;
+  std::function<void(idx_t iter, const cplx* buf, int rank, int parts)> store;
+};
+
+class DoubleBufferPipeline {
+ public:
+  /// Schedule-trace event (tests validate the Table II schedule with it).
+  struct TraceEvent {
+    idx_t step;
+    enum class Kind { Load, Compute, Store } kind;
+    idx_t iter;
+    int half;
+    int tid;
+  };
+
+  /// `block_elems` is the size of ONE buffer half (= one block b); the
+  /// pipeline allocates 2*block_elems for the two halves.
+  DoubleBufferPipeline(ThreadTeam& team, RolePlan roles, idx_t block_elems);
+
+  idx_t block_elems() const { return block_elems_; }
+  const RolePlan& roles() const { return roles_; }
+
+  /// Run one stage with full overlap (Table II). With no data threads in
+  /// the role plan the stage degrades gracefully: compute threads execute
+  /// load/compute/store back-to-back per iteration (no overlap).
+  void execute(const PipelineStage& stage);
+
+  /// Run the stage WITHOUT software pipelining: every step does
+  /// load -> barrier -> compute -> barrier -> store with all threads
+  /// cooperating on each task. Used by the overlap-ablation benchmark.
+  void execute_unpipelined(const PipelineStage& stage);
+
+  /// Record the schedule of subsequent execute() calls into `sink`
+  /// (nullptr disables). Not for timed runs.
+  void set_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
+
+  /// Aggregate busy time per task kind over one execute() call, summed
+  /// across the threads of each role group. busy/(wall * group size) is
+  /// the utilisation of that role — the soft-DMA balance the thread-split
+  /// ablation inspects.
+  struct RoleUtilization {
+    double wall_seconds = 0.0;
+    double load_seconds = 0.0;     // data threads (or compute fallback)
+    double store_seconds = 0.0;    // data threads (or compute fallback)
+    double compute_seconds = 0.0;  // compute threads
+  };
+
+  /// Enable/disable utilisation collection (small timing overhead per
+  /// task); results from the last execute() via last_utilization().
+  void set_collect_utilization(bool on) { collect_util_ = on; }
+  const RoleUtilization& last_utilization() const { return util_; }
+
+ private:
+  cplx* half(int h) { return buffer_.data() + h * block_elems_; }
+  void record(idx_t step, TraceEvent::Kind kind, idx_t iter, int h, int tid);
+
+  ThreadTeam& team_;
+  RolePlan roles_;
+  idx_t block_elems_;
+  AlignedBuffer<cplx> buffer_;
+  std::vector<TraceEvent>* trace_ = nullptr;
+  std::mutex trace_mu_;
+  bool collect_util_ = false;
+  RoleUtilization util_;
+};
+
+/// The paper's buffer policy (§IV-A): the two halves together take half of
+/// the LLC; returns the per-half block size in complex elements.
+idx_t default_block_elems(const MachineTopology& topo);
+
+}  // namespace bwfft

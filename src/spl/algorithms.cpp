@@ -1,0 +1,208 @@
+#include "spl/algorithms.h"
+
+namespace bwfft::spl {
+
+namespace {
+void check_divides(idx_t a, idx_t b, const char* what) {
+  BWFFT_CHECK(a > 0 && b > 0 && b % a == 0, std::string(what));
+}
+}  // namespace
+
+// ------------------------------------------------------------------ 1D FFT
+
+ExprPtr cooley_tukey(idx_t m, idx_t n, Direction dir) {
+  BWFFT_CHECK(m > 1 && n > 1, "cooley_tukey needs m,n > 1");
+  return compose({
+      kron(dft(m, dir), identity(n)),
+      twiddle_diag(m, n, dir),
+      kron(identity(m), dft(n, dir)),
+      stride_perm(m * n, m),
+  });
+}
+
+ExprPtr dft1d_four_step(idx_t a, idx_t b, Direction dir) {
+  BWFFT_CHECK(a > 1 && b > 1, "four-step needs a,b > 1");
+  return compose({
+      stride_perm(a * b, b),
+      kron(identity(a), dft(b, dir)),
+      twiddle_diag(a, b, dir),
+      kron(dft(a, dir), identity(b)),
+  });
+}
+
+// ------------------------------------------------------------------ 2D FFT
+
+ExprPtr dft2d_pencil(idx_t n, idx_t m, Direction dir) {
+  return compose({
+      kron(dft(n, dir), identity(m)),
+      kron(identity(n), dft(m, dir)),
+  });
+}
+
+ExprPtr dft2d_transposed(idx_t n, idx_t m, Direction dir) {
+  return compose({
+      stride_perm(m * n, n),                 // L_n^{mn}: m x n -> n x m
+      kron(identity(m), dft(n, dir)),        // columns as unit-stride rows
+      stride_perm(m * n, m),                 // L_m^{mn}: n x m -> m x n
+      kron(identity(n), dft(m, dir)),        // rows
+  });
+}
+
+ExprPtr dft2d_blocked(idx_t n, idx_t m, idx_t mu, Direction dir) {
+  check_divides(mu, m, "dft2d_blocked needs mu | m");
+  return compose({
+      kron(stride_perm(m * n / mu, n), identity(mu)),
+      kron(kron(identity(m / mu), dft(n, dir)), identity(mu)),
+      kron(stride_perm(m * n / mu, m / mu), identity(mu)),
+      kron(identity(n), dft(m, dir)),
+  });
+}
+
+// ------------------------------------------------------------------ 3D FFT
+
+ExprPtr dft3d_pencil(idx_t k, idx_t n, idx_t m, Direction dir) {
+  return compose({
+      kron(dft(k, dir), identity(n * m)),
+      kron(kron(identity(k), dft(n, dir)), identity(m)),
+      kron(identity(k * n), dft(m, dir)),
+  });
+}
+
+ExprPtr dft3d_slab_pencil(idx_t k, idx_t n, idx_t m, Direction dir) {
+  // The slab DFT_{n x m} is itself the pencil 2D factorisation; fusing the
+  // first two stages is the P3DFFT trick that reduces round trips.
+  return compose({
+      kron(dft(k, dir), identity(n * m)),
+      kron(identity(k), dft2d_pencil(n, m, dir)),
+  });
+}
+
+ExprPtr rotation_k(idx_t a, idx_t b, idx_t c) {
+  // K_c^{a,b} = (L_c^{ca} (x) I_b) (I_a (x) L_c^{cb})
+  return compose({
+      kron(stride_perm(c * a, c), identity(b)),
+      kron(identity(a), stride_perm(c * b, c)),
+  });
+}
+
+ExprPtr rotation_k_blocked(idx_t a, idx_t b, idx_t c, idx_t mu) {
+  check_divides(mu, c, "rotation_k_blocked needs mu | c");
+  return kron(rotation_k(a, b, c / mu), identity(mu));
+}
+
+ExprPtr dft3d_rotated(idx_t k, idx_t n, idx_t m, idx_t mu, Direction dir) {
+  check_divides(mu, m, "dft3d_rotated needs mu | m");
+  // Stage 1: cube k x n x m, pencils along x (size m, unit stride).
+  ExprPtr stage1 = compose({
+      rotation_k_blocked(k, n, m, mu),               // -> packets [xp][z][y]
+      kron(identity(k * n), dft(m, dir)),
+  });
+  // Stage 2: layout [xp][z][y][xl]; pencils along y at stride mu.
+  ExprPtr stage2 = compose({
+      kron(rotation_k(m / mu, k, n), identity(mu)),  // -> [y][xp][z][xl]
+      kron(kron(identity((m / mu) * k), dft(n, dir)), identity(mu)),
+  });
+  // Stage 3: layout [y][xp][z][xl]; pencils along z at stride mu; the final
+  // rotation restores the natural k x n x m order.
+  ExprPtr stage3 = compose({
+      kron(rotation_k(n, m / mu, k), identity(mu)),  // -> [z][y][xp][xl]
+      kron(kron(identity(n * (m / mu)), dft(k, dir)), identity(mu)),
+  });
+  return compose({stage3, stage2, stage1});
+}
+
+// ------------------------------------------- Tiled stage / W and R matrices
+
+ExprPtr read_matrix(idx_t total, idx_t b, idx_t i) {
+  return gather(total, b, i);
+}
+
+ExprPtr write_matrix_stage1(idx_t k, idx_t n, idx_t m, idx_t mu, idx_t b,
+                            idx_t i) {
+  return compose({
+      rotation_k_blocked(k, n, m, mu),
+      scatter(k * n * m, b, i),
+  });
+}
+
+std::vector<ExprPtr> stage1_tiled(idx_t k, idx_t n, idx_t m, idx_t mu, idx_t b,
+                                  Direction dir) {
+  const idx_t total = k * n * m;
+  check_divides(m, b, "stage1_tiled needs m | b");
+  check_divides(b, total, "stage1_tiled needs b | knm");
+  std::vector<ExprPtr> iters;
+  for (idx_t i = 0; i < total / b; ++i) {
+    iters.push_back(compose({
+        write_matrix_stage1(k, n, m, mu, b, i),
+        kron(identity(b / m), dft(m, dir)),
+        read_matrix(total, b, i),
+    }));
+  }
+  return iters;
+}
+
+// ------------------------------------------------ Dual socket (Table III)
+
+ExprPtr dual_socket_w1(idx_t k, idx_t n, idx_t m, idx_t mu, idx_t sk) {
+  check_divides(sk, k, "dual socket needs sk | k");
+  const idx_t ksl = k / sk;
+  // Per-socket blocked rotation of the local slab ksl x n x m; data stays
+  // within the socket (Fig 8, stage 1 writes locally).
+  return kron(identity(sk), rotation_k_blocked(ksl, n, m, mu));
+}
+
+ExprPtr dual_socket_w2(idx_t k, idx_t n, idx_t m, idx_t mu, idx_t sk) {
+  check_divides(sk, k, "dual socket needs sk | k");
+  const idx_t ksl = k / sk;
+  // Local rotation [xp][zl][y] -> [y][xp][zl], then the cross-socket
+  // exchange (L_{nm/mu}^{sk nm/mu} (x) I_{ksl mu}) reassembles full-z
+  // pencils distributed by y (Fig 8, stage 2 writes across sockets).
+  return compose({
+      kron(stride_perm(sk * n * m / mu, n * m / mu), identity(ksl * mu)),
+      kron(identity(sk), kron(rotation_k(m / mu, ksl, n), identity(mu))),
+  });
+}
+
+ExprPtr dual_socket_w3(idx_t k, idx_t n, idx_t m, idx_t mu, idx_t sk) {
+  check_divides(sk, k, "dual socket needs sk | k");
+  check_divides(sk, n, "dual socket needs sk | n");
+  const idx_t nsl = n / sk;
+  // Local rotation [yl][xp][z] -> [z][yl][xp], then the exchange
+  // (L_k^{sk k} (x) I_{nm/sk}) restores the natural global order
+  // distributed by z (Fig 8, stage 3 writes across sockets).
+  return compose({
+      kron(stride_perm(sk * k, k), identity(n * m / sk)),
+      kron(identity(sk), kron(rotation_k(nsl, m / mu, k), identity(mu))),
+  });
+}
+
+ExprPtr dft3d_dual_socket(idx_t k, idx_t n, idx_t m, idx_t mu, idx_t sk,
+                          Direction dir) {
+  check_divides(mu, m, "dual socket needs mu | m");
+  check_divides(sk, k, "dual socket needs sk | k");
+  check_divides(sk, n, "dual socket needs sk | n");
+  const idx_t ksl = k / sk;
+  const idx_t nsl = n / sk;
+
+  // Stage 1: per-socket pencils along x on the local ksl x n x m slab.
+  ExprPtr stage1 = compose({
+      dual_socket_w1(k, n, m, mu, sk),
+      kron(identity(sk), kron(identity(ksl * n), dft(m, dir))),
+  });
+  // Stage 2: per-socket pencils along y; write across the interconnect.
+  ExprPtr stage2 = compose({
+      dual_socket_w2(k, n, m, mu, sk),
+      kron(identity(sk),
+           kron(kron(identity((m / mu) * ksl), dft(n, dir)), identity(mu))),
+  });
+  // Stage 3: per-socket full-length z pencils; write across to restore the
+  // natural order distributed by z.
+  ExprPtr stage3 = compose({
+      dual_socket_w3(k, n, m, mu, sk),
+      kron(identity(sk),
+           kron(kron(identity(nsl * (m / mu)), dft(k, dir)), identity(mu))),
+  });
+  return compose({stage3, stage2, stage1});
+}
+
+}  // namespace bwfft::spl

@@ -1,0 +1,246 @@
+// SPL (Signal Processing Language) expression library.
+//
+// The paper derives every data-movement and compute operator of the
+// double-buffered FFT in the SPL / Kronecker-product formalism (§II-C,
+// Table I, Table III). This module implements that formalism as an
+// expression tree with exact linear-operator semantics:
+//
+//   * terminals:    I_n, rectangular I_{m x n}, O_{m x n}, DFT_n, diagonal
+//                   matrices (twiddle factors D_n^{mn}), the stride
+//                   permutation L, gather G_{n,b,i} and scatter S_{n,b,i}
+//   * combinators:  matrix product (compose), Kronecker product, direct sum
+//
+// Every node can be applied to a vector (y = M x) and materialised as a
+// dense matrix, which is how the hand-optimised kernels in src/layout and
+// src/fft are validated: each kernel's semantics is stated as an SPL term
+// and the test suite checks the kernel against the term's dense semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace bwfft::spl {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Abstract linear operator of shape rows() x cols().
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  virtual idx_t rows() const = 0;
+  virtual idx_t cols() const = 0;
+
+  /// y = M x. `x` has cols() elements, `y` rows(); they must not alias.
+  virtual void apply(const cplx* x, cplx* y) const = 0;
+
+  /// Human-readable rendering, e.g. "(DFT_4 (x) I_8)".
+  virtual std::string str() const = 0;
+
+  /// Convenience overload on vectors; checks dimensions.
+  cvec operator()(const cvec& x) const;
+};
+
+// ---------------------------------------------------------------------------
+// Terminals
+// ---------------------------------------------------------------------------
+
+/// Identity matrix I_n.
+class Identity final : public Expr {
+ public:
+  explicit Identity(idx_t n);
+  idx_t rows() const override { return n_; }
+  idx_t cols() const override { return n_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+
+ private:
+  idx_t n_;
+};
+
+/// Rectangular identity I_{m x n} (§II-C): the top-left identity padded
+/// with zero rows (m > n) or truncated columns (m < n).
+class RectIdentity final : public Expr {
+ public:
+  RectIdentity(idx_t m, idx_t n);
+  idx_t rows() const override { return m_; }
+  idx_t cols() const override { return n_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+
+ private:
+  idx_t m_, n_;
+};
+
+/// All-zero matrix O_{m x n}.
+class Zero final : public Expr {
+ public:
+  Zero(idx_t m, idx_t n);
+  idx_t rows() const override { return m_; }
+  idx_t cols() const override { return n_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+
+ private:
+  idx_t m_, n_;
+};
+
+/// Dense DFT_n with entries w_n^{kl}; applied as the O(n^2) matrix-vector
+/// product. This is the semantic ground truth every FFT engine is tested
+/// against.
+class Dft final : public Expr {
+ public:
+  Dft(idx_t n, Direction dir);
+  idx_t rows() const override { return n_; }
+  idx_t cols() const override { return n_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+  Direction direction() const { return dir_; }
+
+ private:
+  idx_t n_;
+  Direction dir_;
+};
+
+/// Arbitrary diagonal matrix.
+class Diag final : public Expr {
+ public:
+  explicit Diag(cvec d);
+  idx_t rows() const override { return static_cast<idx_t>(d_.size()); }
+  idx_t cols() const override { return static_cast<idx_t>(d_.size()); }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+  const cvec& values() const { return d_; }
+
+ private:
+  cvec d_;
+};
+
+/// Stride permutation L_sub^{total} (§II-C): the input vector, viewed as a
+/// (total/sub) x sub row-major matrix, is transposed. The paper's
+/// L_n^{mn} : in+j -> jm+i (0<=i<m, 0<=j<n) is StridePerm(total=mn, sub=n).
+class StridePerm final : public Expr {
+ public:
+  StridePerm(idx_t total, idx_t sub);
+  idx_t rows() const override { return total_; }
+  idx_t cols() const override { return total_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+  idx_t total() const { return total_; }
+  idx_t sub() const { return sub_; }
+
+ private:
+  idx_t total_, sub_;
+};
+
+/// Gather G_{n,b,i} (§III-B): the b x n matrix selecting the i-th
+/// contiguous window of b elements; the transpose slice of the identity.
+class Gather final : public Expr {
+ public:
+  Gather(idx_t n, idx_t b, idx_t i);
+  idx_t rows() const override { return b_; }
+  idx_t cols() const override { return n_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+
+ private:
+  idx_t n_, b_, i_;
+};
+
+/// Scatter S_{n,b,i} (§III-B): the n x b matrix writing a block of b
+/// elements into the i-th window of an n-vector (zeros elsewhere).
+class Scatter final : public Expr {
+ public:
+  Scatter(idx_t n, idx_t b, idx_t i);
+  idx_t rows() const override { return n_; }
+  idx_t cols() const override { return b_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+
+ private:
+  idx_t n_, b_, i_;
+};
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Matrix product A_0 A_1 ... A_{k-1}; factors apply right-to-left, exactly
+/// like the formulas in the paper.
+class Compose final : public Expr {
+ public:
+  explicit Compose(std::vector<ExprPtr> factors);
+  idx_t rows() const override { return factors_.front()->rows(); }
+  idx_t cols() const override { return factors_.back()->cols(); }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+  const std::vector<ExprPtr>& factors() const { return factors_; }
+
+ private:
+  std::vector<ExprPtr> factors_;
+};
+
+/// Kronecker (tensor) product A (x) B. Applied via the factorisation
+/// (A (x) B) = (A (x) I)(I (x) B), which needs one temporary.
+class Kron final : public Expr {
+ public:
+  Kron(ExprPtr a, ExprPtr b);
+  idx_t rows() const override { return a_->rows() * b_->rows(); }
+  idx_t cols() const override { return a_->cols() * b_->cols(); }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+  const ExprPtr& a() const { return a_; }
+  const ExprPtr& b() const { return b_; }
+
+ private:
+  ExprPtr a_, b_;
+};
+
+/// Direct sum diag(A_0, ..., A_{k-1}): block-diagonal stacking.
+class DirectSum final : public Expr {
+ public:
+  explicit DirectSum(std::vector<ExprPtr> blocks);
+  idx_t rows() const override { return rows_; }
+  idx_t cols() const override { return cols_; }
+  void apply(const cplx* x, cplx* y) const override;
+  std::string str() const override;
+
+ private:
+  std::vector<ExprPtr> blocks_;
+  idx_t rows_ = 0, cols_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers (the notation used throughout the library and its tests)
+// ---------------------------------------------------------------------------
+
+ExprPtr identity(idx_t n);
+ExprPtr rect_identity(idx_t m, idx_t n);
+ExprPtr zero(idx_t m, idx_t n);
+ExprPtr dft(idx_t n, Direction dir = Direction::Forward);
+ExprPtr diag(cvec d);
+/// Twiddle diagonal D_n^{mn} of the Cooley–Tukey factorisation: entries
+/// w_{mn}^{ij} for the (i,j) grid, i<m rows of j<n.
+ExprPtr twiddle_diag(idx_t m, idx_t n, Direction dir = Direction::Forward);
+/// L_sub^{total}; `total` must be a multiple of `sub`.
+ExprPtr stride_perm(idx_t total, idx_t sub);
+ExprPtr gather(idx_t n, idx_t b, idx_t i);
+ExprPtr scatter(idx_t n, idx_t b, idx_t i);
+ExprPtr compose(std::vector<ExprPtr> factors);
+ExprPtr kron(ExprPtr a, ExprPtr b);
+ExprPtr direct_sum(std::vector<ExprPtr> blocks);
+
+/// Dense row-major materialisation (rows() x cols() entries) obtained by
+/// applying the operator to unit vectors. Intended for test-scale sizes.
+std::vector<cvec> dense(const Expr& e);
+
+/// Max |a-b| over two operators' dense forms; throws if shapes mismatch.
+double max_abs_diff(const Expr& a, const Expr& b);
+
+}  // namespace bwfft::spl

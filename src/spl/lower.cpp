@@ -1,0 +1,145 @@
+#include "spl/lower.h"
+
+#include <sstream>
+
+#include "fft1d/fft1d.h"
+#include "layout/transpose.h"
+
+namespace bwfft::spl {
+
+namespace {
+
+/// Recursive lowering context: the term being lowered sits inside
+/// I_batch (x) . (x) I_lanes.
+void lower_into(const Expr& e, idx_t batch, idx_t lanes, Program& prog) {
+  if (dynamic_cast<const Identity*>(&e) != nullptr) {
+    return;  // no-op factor
+  }
+  if (const auto* c = dynamic_cast<const Compose*>(&e)) {
+    // Factors apply right-to-left.
+    const auto& fs = c->factors();
+    for (std::size_t i = fs.size(); i-- > 0;) {
+      lower_into(*fs[i], batch, lanes, prog);
+    }
+    return;
+  }
+  if (const auto* k = dynamic_cast<const Kron*>(&e)) {
+    if (const auto* ia = dynamic_cast<const Identity*>(k->a().get())) {
+      lower_into(*k->b(), batch * ia->rows(), lanes, prog);
+      return;
+    }
+    if (const auto* ib = dynamic_cast<const Identity*>(k->b().get())) {
+      lower_into(*k->a(), batch, lanes * ib->rows(), prog);
+      return;
+    }
+    throw Error("unlowerable Kron (neither side is an identity): " + e.str());
+  }
+  if (const auto* d = dynamic_cast<const Dft*>(&e)) {
+    LowerOp op;
+    op.kind = LowerOp::Kind::BatchFft;
+    op.batch = batch;
+    op.n = d->rows();
+    op.lanes = lanes;
+    op.dir = d->direction();
+    op.plan = std::make_shared<Fft1d>(op.n, op.dir);
+    prog.push(std::move(op));
+    return;
+  }
+  if (const auto* l = dynamic_cast<const StridePerm*>(&e)) {
+    LowerOp op;
+    op.kind = LowerOp::Kind::BatchTranspose;
+    op.batch = batch;
+    op.rows = l->total() / l->sub();
+    op.cols = l->sub();
+    op.lanes = lanes;
+    prog.push(std::move(op));
+    return;
+  }
+  if (const auto* dg = dynamic_cast<const Diag*>(&e)) {
+    // Expand the diagonal across the batch and lane tensor structure:
+    // (I_batch (x) diag(d) (x) I_lanes) is the diagonal of the full vector.
+    LowerOp op;
+    op.kind = LowerOp::Kind::Scale;
+    const idx_t n = dg->rows();
+    op.diag.resize(static_cast<std::size_t>(batch * n * lanes));
+    for (idx_t b = 0; b < batch; ++b) {
+      for (idx_t i = 0; i < n; ++i) {
+        for (idx_t l2 = 0; l2 < lanes; ++l2) {
+          op.diag[static_cast<std::size_t>((b * n + i) * lanes + l2)] =
+              dg->values()[static_cast<std::size_t>(i)];
+        }
+      }
+    }
+    prog.push(std::move(op));
+    return;
+  }
+  throw Error("unlowerable SPL node: " + e.str());
+}
+
+}  // namespace
+
+std::string LowerOp::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::BatchFft:
+      os << "batch_fft(batch=" << batch << ", n=" << n << ", lanes=" << lanes
+         << ", dir=" << (dir == Direction::Forward ? "fwd" : "inv") << ")";
+      break;
+    case Kind::BatchTranspose:
+      os << "batch_transpose(batch=" << batch << ", " << rows << "x" << cols
+         << ", mu=" << lanes << ")";
+      break;
+    case Kind::Scale:
+      os << "scale(n=" << diag.size() << ")";
+      break;
+  }
+  return os.str();
+}
+
+cvec Program::run(const cvec& in) const {
+  BWFFT_CHECK(static_cast<idx_t>(in.size()) == length_,
+              "program input length mismatch");
+  cvec cur = in;
+  cvec scratch(in.size());
+  for (const LowerOp& op : ops_) {
+    switch (op.kind) {
+      case LowerOp::Kind::BatchFft: {
+        // One tile per batch element: n x lanes, contiguous.
+        op.plan->apply_lanes(cur.data(), op.lanes, op.batch);
+        break;
+      }
+      case LowerOp::Kind::BatchTranspose: {
+        const idx_t tile = op.rows * op.cols * op.lanes;
+        for (idx_t b = 0; b < op.batch; ++b) {
+          transpose_packets(cur.data() + b * tile, scratch.data() + b * tile,
+                            op.rows, op.cols, op.lanes);
+        }
+        std::swap(cur, scratch);
+        break;
+      }
+      case LowerOp::Kind::Scale: {
+        for (std::size_t i = 0; i < cur.size(); ++i) cur[i] *= op.diag[i];
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+std::string Program::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    os << i << ": " << ops_[i].str() << "\n";
+  }
+  return os.str();
+}
+
+Program lower(const Expr& e) {
+  BWFFT_CHECK(e.rows() == e.cols(),
+              "only square (size-preserving) terms are lowerable");
+  Program prog(e.cols());
+  lower_into(e, 1, 1, prog);
+  return prog;
+}
+
+}  // namespace bwfft::spl

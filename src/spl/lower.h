@@ -1,0 +1,65 @@
+// SPL lowering — from formula to executable plan (§III-D).
+//
+// The paper generates its compute and data-movement code from SPL terms
+// with SPIRAL. This module plays that role at plan level: a restricted
+// SPL grammar (compositions of I (x) DFT (x) I, stride permutations
+// tensored with identities, and diagonals — exactly the shapes appearing
+// in the paper's factorisations) is compiled into a linear Program of
+// three primitive operations:
+//
+//   BatchFft       {batch, n, lanes}  -> Fft1d::apply_lanes     (in place)
+//   BatchTranspose {batch, r, c, mu}  -> transpose_packets      (ping-pong)
+//   Scale          {diag}             -> pointwise multiply     (in place)
+//
+// Running the program reproduces the operator's semantics using the same
+// optimised kernels the engines use, which closes the loop formula ->
+// plan -> kernels and is tested against the SPL term's dense semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fft1d/fft1d.h"
+#include "spl/expr.h"
+
+namespace bwfft::spl {
+
+struct LowerOp {
+  enum class Kind { BatchFft, BatchTranspose, Scale };
+  Kind kind;
+  idx_t batch = 1;  ///< outer repetitions (from I_batch (x) ...)
+  idx_t n = 1;      ///< FFT length (BatchFft)
+  idx_t rows = 1, cols = 1;  ///< transpose grid (BatchTranspose)
+  idx_t lanes = 1;  ///< inner vector width (from ... (x) I_lanes)
+  Direction dir = Direction::Forward;
+  cvec diag;        ///< expanded diagonal (Scale)
+  std::shared_ptr<const Fft1d> plan;  ///< created at lower() time
+
+  std::string str() const;
+};
+
+class Program {
+ public:
+  explicit Program(idx_t length) : length_(length) {}
+
+  idx_t length() const { return length_; }
+  const std::vector<LowerOp>& ops() const { return ops_; }
+  void push(LowerOp op) { ops_.push_back(std::move(op)); }
+
+  /// Execute the plan on a vector of length().
+  cvec run(const cvec& in) const;
+
+  /// Multi-line rendering of the op sequence (the "generated code").
+  std::string describe() const;
+
+ private:
+  idx_t length_;
+  std::vector<LowerOp> ops_;
+};
+
+/// Compile an SPL term into a Program. Throws bwfft::Error if the term
+/// falls outside the lowerable grammar.
+Program lower(const Expr& e);
+
+}  // namespace bwfft::spl

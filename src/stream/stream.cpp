@@ -1,0 +1,81 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+
+#include "common/aligned.h"
+#include "common/cpu.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "parallel/team.h"
+
+namespace bwfft {
+
+StreamResult run_stream(std::size_t elems, int threads, int reps) {
+  AlignedBuffer<double> a(elems), b(elems), c(elems);
+  ThreadTeam team(std::max(threads, 1));
+  const idx_t n = static_cast<idx_t>(elems);
+
+  parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+    for (idx_t i = lo; i < hi; ++i) {
+      a[static_cast<std::size_t>(i)] = 1.0;
+      b[static_cast<std::size_t>(i)] = 2.0;
+      c[static_cast<std::size_t>(i)] = 0.0;
+    }
+  });
+
+  const double scalar = 3.0;
+  double best[4] = {1e30, 1e30, 1e30, 1e30};
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+      for (idx_t i = lo; i < hi; ++i)
+        c[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+    });
+    best[0] = std::min(best[0], t.seconds());
+
+    t.reset();
+    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+      for (idx_t i = lo; i < hi; ++i)
+        b[static_cast<std::size_t>(i)] = scalar * c[static_cast<std::size_t>(i)];
+    });
+    best[1] = std::min(best[1], t.seconds());
+
+    t.reset();
+    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+      for (idx_t i = lo; i < hi; ++i)
+        c[static_cast<std::size_t>(i)] =
+            a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+    });
+    best[2] = std::min(best[2], t.seconds());
+
+    t.reset();
+    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+      for (idx_t i = lo; i < hi; ++i)
+        a[static_cast<std::size_t>(i)] =
+            b[static_cast<std::size_t>(i)] +
+            scalar * c[static_cast<std::size_t>(i)];
+    });
+    best[3] = std::min(best[3], t.seconds());
+  }
+
+  const double bytes = static_cast<double>(elems) * sizeof(double);
+  StreamResult res;
+  res.copy_gbs = 2.0 * bytes / best[0] / 1e9;
+  res.scale_gbs = 2.0 * bytes / best[1] / 1e9;
+  res.add_gbs = 3.0 * bytes / best[2] / 1e9;
+  res.triad_gbs = 3.0 * bytes / best[3] / 1e9;
+  return res;
+}
+
+double measured_stream_bandwidth_gbs() {
+  static const double bw = [] {
+    // 4x the LLC per array, but bounded: virtualised LLC reports can be
+    // hundreds of MiB and first-touching gigabytes would dominate runtime.
+    const std::size_t bytes = std::clamp<std::size_t>(llc_bytes() * 4,
+                                                      32u << 20, 64u << 20);
+    return run_stream(bytes / sizeof(double), online_cpus()).best();
+  }();
+  return bw;
+}
+
+}  // namespace bwfft

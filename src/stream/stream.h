@@ -1,0 +1,33 @@
+// STREAM-style bandwidth measurement (McCalpin [1]).
+//
+// The paper normalises every figure against the "achievable peak": the
+// pseudo-Gflop/s rate attainable if each FFT stage streamed its data at
+// the STREAM bandwidth. This module measures Copy/Scale/Add/Triad over
+// arrays far larger than the LLC, parallelised across a thread team, and
+// reports the best-of-k rates the same way the original benchmark does.
+#pragma once
+
+#include <cstddef>
+
+namespace bwfft {
+
+struct StreamResult {
+  double copy_gbs = 0.0;
+  double scale_gbs = 0.0;
+  double add_gbs = 0.0;
+  double triad_gbs = 0.0;
+
+  /// The rate the roofline model uses (the paper quotes a single STREAM
+  /// number per machine); Triad is the customary choice.
+  double best() const { return triad_gbs; }
+};
+
+/// Run the four kernels `reps` times over arrays of `elems` doubles each
+/// with `threads` workers; returns best-rep bandwidths in GB/s.
+StreamResult run_stream(std::size_t elems, int threads, int reps = 5);
+
+/// Measure (and cache) the host's STREAM bandwidth with default sizing:
+/// 4x LLC per array, all CPUs.
+double measured_stream_bandwidth_gbs();
+
+}  // namespace bwfft

@@ -1,0 +1,134 @@
+// Tests for the common substrate: aligned memory, CPU detection surface,
+// topology profiles, timers, metrics and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+
+#include "benchutil/metrics.h"
+#include "benchutil/table.h"
+#include "common/aligned.h"
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/topology.h"
+
+namespace bwfft {
+namespace {
+
+TEST(Aligned, AllocationsAreCachelineAligned) {
+  for (std::size_t n : {1u, 3u, 64u, 1000u}) {
+    AlignedBuffer<cplx> buf(n);
+    EXPECT_EQ(0u, reinterpret_cast<std::uintptr_t>(buf.data()) %
+                      kCachelineBytes);
+    EXPECT_EQ(n, buf.size());
+  }
+  cvec v(100);
+  EXPECT_EQ(0u, reinterpret_cast<std::uintptr_t>(v.data()) % kCachelineBytes);
+}
+
+TEST(Aligned, BufferMoveSemantics) {
+  AlignedBuffer<cplx> a(16);
+  a[0] = cplx(7, 7);
+  cplx* p = a.data();
+  AlignedBuffer<cplx> b = std::move(a);
+  EXPECT_EQ(p, b.data());
+  EXPECT_EQ(cplx(7, 7), b[0]);
+  EXPECT_EQ(nullptr, a.data());
+  AlignedBuffer<cplx> c;
+  c = std::move(b);
+  EXPECT_EQ(p, c.data());
+}
+
+TEST(Aligned, ZeroSizeIsEmpty) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(nullptr, buf.data());
+}
+
+TEST(Rng, Deterministic) {
+  auto a = random_cvec(32, 5);
+  auto b = random_cvec(32, 5);
+  auto c = random_cvec(32, 6);
+  EXPECT_EQ(a[7], b[7]);
+  EXPECT_NE(a[7], c[7]);
+  for (const auto& v : a) {
+    EXPECT_LE(std::abs(v.real()), 1.0);
+    EXPECT_LE(std::abs(v.imag()), 1.0);
+  }
+}
+
+TEST(Cpu, DetectionIsStableAndSane) {
+  const auto& f1 = cpu_features();
+  const auto& f2 = cpu_features();
+  EXPECT_EQ(&f1, &f2);  // cached
+  EXPECT_GE(online_cpus(), 1);
+  EXPECT_GE(llc_bytes(), 256u * 1024);  // any real machine has >= 256 KiB
+  EXPECT_FALSE(cpu_summary().empty());
+#if defined(__AVX2__)
+  EXPECT_TRUE(f1.avx2);  // compiled with -march=native implies host support
+#endif
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Topology, HostIsBounded) {
+  auto t = host_topology();
+  EXPECT_EQ(1, t.sockets);
+  EXPECT_GE(t.total_threads(), 1);
+  // The modelled LLC is capped against virtualised misreports.
+  EXPECT_LE(t.llc_bytes, 32u << 20);
+  EXPECT_GT(t.shared_buffer_elems(), 0);
+}
+
+TEST(Metrics, FlopModel) {
+  // 5 N log2 N at N=1024: 5 * 1024 * 10.
+  EXPECT_DOUBLE_EQ(51200.0, fft_flops(1024.0));
+  EXPECT_NEAR(51.2, fft_gflops(1024.0, 1e-6), 1e-9);
+}
+
+TEST(Metrics, AchievablePeakMatchesPaperFormula) {
+  // P_io = 5 N log N * BW / (2 N stages sizeof(cplx)). For N = 2^27
+  // (512^3), BW = 40 GB/s, 3 stages: 5*27*40e9/(2*3*16) bytes-cancelling.
+  const double n = std::pow(2.0, 27.0);
+  const double expect = 5.0 * n * 27.0 * 40e9 / (2.0 * n * 3 * 16) / 1e9;
+  EXPECT_NEAR(expect, achievable_peak_gflops(n, 3, 40.0), 1e-9);
+  // Sanity: Kaby Lake 512^3 at 40 GB/s is ~56 GF/s — consistent with the
+  // paper's Fig 1 peak-normalised bars and its reported Gflop/s labels.
+  EXPECT_NEAR(56.25, achievable_peak_gflops(n, 3, 40.0), 0.01);
+}
+
+TEST(Metrics, IoBoundSeconds) {
+  // 2 accesses * N * stages * 16 bytes at BW.
+  EXPECT_NEAR(2.0 * 1e6 * 3 * 16 / 10e9, io_bound_seconds(1e6, 3, 10.0),
+              1e-15);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(std::string::npos, s.find("col"));
+  EXPECT_NE(std::string::npos, s.find("longer"));
+  EXPECT_NE(std::string::npos, s.find("---"));
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ("3.14", fmt_double(3.14159, 2));
+  EXPECT_EQ("75.0%", fmt_percent(0.75, 1));
+}
+
+}  // namespace
+}  // namespace bwfft

@@ -1,0 +1,100 @@
+// Tests for the double-buffered large 1D engine (the paper's future-work
+// path) and its four-step SPL specification.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fft/double_buffer_1d.h"
+#include "fft/reference.h"
+#include "spl/algorithms.h"
+#include "test_util.h"
+
+namespace bwfft {
+namespace {
+
+using test::fft_tol;
+using test::max_err;
+
+TEST(FourStepSpl, EqualsDenseDft) {
+  for (auto [a, b] : {std::pair<idx_t, idx_t>{4, 4}, {4, 8}, {8, 4}, {3, 5}}) {
+    auto got = spl::dft1d_four_step(a, b);
+    EXPECT_LT(spl::max_abs_diff(*got, *spl::dft(a * b)), 1e-10)
+        << a << "x" << b;
+  }
+}
+
+FftOptions db1_opts(int threads) {
+  FftOptions o;
+  o.threads = threads;
+  o.block_elems = 512;
+  return o;
+}
+
+class DoubleBuffer1dSizes
+    : public ::testing::TestWithParam<std::tuple<idx_t, int>> {};
+
+TEST_P(DoubleBuffer1dSizes, MatchesReference) {
+  const auto [n, threads] = GetParam();
+  auto x = random_cvec(n, 8500 + n);
+  cvec want(x.size());
+  reference_dft_1d(x.data(), want.data(), n, Direction::Forward);
+  DoubleBuffer1d plan(n, Direction::Forward, db1_opts(threads));
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)))
+      << "n=" << n << " threads=" << threads << " a=" << plan.factor_a();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DoubleBuffer1dSizes,
+    ::testing::Combine(::testing::Values<idx_t>(16, 64, 256, 512, 4096),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(DoubleBuffer1d, LargerThanBufferSize) {
+  // n far exceeds the configured block: both stages must tile and
+  // pipeline (this is exactly the future-work case: the 1D FFT does not
+  // fit the shared buffer).
+  const idx_t n = 1 << 16;
+  FftOptions o = db1_opts(4);
+  o.block_elems = 2048;  // 32 KiB halves << 1 MiB problem
+  auto x = random_cvec(n, 8600);
+  DoubleBuffer1d plan(n, Direction::Forward, o);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+
+  // Check against the (fast) Stockham engine rather than the dense oracle.
+  Fft1d ref(n, Direction::Forward);
+  cvec want = x;
+  ref.apply_batch(want.data(), 1);
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)));
+}
+
+TEST(DoubleBuffer1d, InverseRoundTrip) {
+  const idx_t n = 1024;
+  auto x = random_cvec(n, 8700);
+  auto fo = db1_opts(2);
+  auto io = db1_opts(2);
+  io.normalize_inverse = true;
+  DoubleBuffer1d fwd(n, Direction::Forward, fo);
+  DoubleBuffer1d inv(n, Direction::Inverse, io);
+  cvec a = x, b(x.size()), c(x.size());
+  fwd.execute(a.data(), b.data());
+  inv.execute(b.data(), c.data());
+  EXPECT_LT(max_err(x, c), fft_tol(static_cast<double>(n)));
+}
+
+TEST(DoubleBuffer1d, SplitIsNearSquare) {
+  DoubleBuffer1d p1(1 << 10, Direction::Forward, db1_opts(1));
+  EXPECT_EQ(32, p1.factor_a());
+  EXPECT_EQ(32, p1.factor_b());
+  DoubleBuffer1d p2(1 << 11, Direction::Forward, db1_opts(1));
+  EXPECT_EQ(32, p2.factor_a());
+  EXPECT_EQ(64, p2.factor_b());
+}
+
+TEST(DoubleBuffer1d, RejectsBadSizes) {
+  EXPECT_THROW(DoubleBuffer1d(12, Direction::Forward, db1_opts(1)), Error);
+  EXPECT_THROW(DoubleBuffer1d(8, Direction::Forward, db1_opts(1)), Error);
+}
+
+}  // namespace
+}  // namespace bwfft

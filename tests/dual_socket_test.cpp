@@ -1,0 +1,155 @@
+// Tests for the dual-socket 3D engine: correctness against the reference,
+// the Fig 8 data-flow properties (stage-1 locality, cross-link traffic
+// bounds) and degradation to the single-socket algorithm at sk = 1.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fft/dual_socket.h"
+#include "fft/reference.h"
+#include "test_util.h"
+
+namespace bwfft {
+namespace {
+
+using test::fft_tol;
+using test::max_err;
+
+FftOptions ds_opts(int threads) {
+  FftOptions o;
+  o.threads = threads;
+  o.block_elems = 256;
+  return o;
+}
+
+class DualSocketCases
+    : public ::testing::TestWithParam<std::tuple<idx_t, idx_t, idx_t, int>> {};
+
+TEST_P(DualSocketCases, MatchesReference) {
+  const auto [k, n, m, threads] = GetParam();
+  const idx_t total = k * n * m;
+  auto x = random_cvec(total, 4000 + total);
+  cvec want(x.size());
+  reference_dft_3d(x.data(), want.data(), k, n, m, Direction::Forward);
+
+  DualSocketFft3d plan(k, n, m, Direction::Forward, ds_opts(threads), 2);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(total)))
+      << k << "x" << n << "x" << m << " threads=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DualSocketCases,
+    ::testing::ValuesIn(std::vector<std::tuple<idx_t, idx_t, idx_t, int>>{
+        {4, 4, 8, 2},
+        {4, 4, 8, 4},
+        {8, 4, 16, 4},
+        {2, 2, 4, 2},
+        {16, 8, 8, 8},
+        {4, 8, 4, 6}}));
+
+TEST(DualSocket, SingleSocketDegenerate) {
+  const idx_t k = 4, n = 4, m = 8;
+  auto x = random_cvec(k * n * m, 5000);
+  cvec want(x.size());
+  reference_dft_3d(x.data(), want.data(), k, n, m, Direction::Forward);
+  DualSocketFft3d plan(k, n, m, Direction::Forward, ds_opts(2), 1);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(k * n * m)));
+  EXPECT_EQ(0u, plan.traffic().write_bytes());  // sk=1: nothing crosses
+}
+
+TEST(DualSocket, InverseRoundTrip) {
+  const idx_t k = 8, n = 4, m = 8;
+  auto x = random_cvec(k * n * m, 5001);
+  auto fwd_opts = ds_opts(4);
+  auto inv_opts = ds_opts(4);
+  inv_opts.normalize_inverse = true;
+  DualSocketFft3d fwd(k, n, m, Direction::Forward, fwd_opts, 2);
+  DualSocketFft3d inv(k, n, m, Direction::Inverse, inv_opts, 2);
+  cvec a = x, b(x.size()), c(x.size());
+  fwd.execute(a.data(), b.data());
+  inv.execute(b.data(), c.data());
+  EXPECT_LT(max_err(x, c), fft_tol(static_cast<double>(k * n * m)));
+}
+
+TEST(DualSocket, DistributedApiMatchesContiguous) {
+  const idx_t k = 4, n = 4, m = 8, total = k * n * m;
+  auto x = random_cvec(total, 5002);
+  DualSocketFft3d plan(k, n, m, Direction::Forward, ds_opts(2), 2);
+
+  cvec in = x, got_c(x.size());
+  plan.execute(in.data(), got_c.data());
+
+  NumaArray xa(2, total / 2), ya(2, total / 2);
+  xa.from_contiguous(x);
+  plan.execute_distributed(xa, ya);
+  auto got_d = ya.to_contiguous();
+  EXPECT_LT(max_err(got_c, got_d), 1e-15);
+}
+
+// Fig 8: stage 2 and 3 each write at most half the data set across the
+// link for sk=2 (only the packets owned by the other socket cross), so
+// total cross traffic <= 2 * N/2 elements.
+TEST(DualSocket, CrossLinkTrafficIsBounded) {
+  const idx_t k = 8, n = 8, m = 8, total = k * n * m;
+  auto x = random_cvec(total, 5003);
+  DualSocketFft3d plan(k, n, m, Direction::Forward, ds_opts(4), 2);
+  cvec in = x, out(x.size());
+  plan.execute(in.data(), out.data());
+  const std::size_t bytes = plan.traffic().write_bytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(bytes, static_cast<std::size_t>(total) * sizeof(cplx));
+  // Exactly half of each of the two exchange stages crosses for sk=2:
+  // 2 stages * N/2 elements = N elements.
+}
+
+TEST(DualSocket, PacketAndStoreVariantsAgree) {
+  const idx_t k = 8, n = 8, m = 8, total = k * n * m;
+  auto x = random_cvec(total, 5004);
+  DualSocketFft3d base(k, n, m, Direction::Forward, ds_opts(4), 2);
+  cvec in = x, want(x.size());
+  base.execute(in.data(), want.data());
+
+  for (idx_t mu : {idx_t{1}, idx_t{2}}) {
+    FftOptions o = ds_opts(4);
+    o.packet_elems = mu;
+    DualSocketFft3d plan(k, n, m, Direction::Forward, o, 2);
+    cvec in2 = x, got(x.size());
+    plan.execute(in2.data(), got.data());
+    EXPECT_LT(max_err(want, got), 1e-12) << "mu=" << mu;
+  }
+  {
+    FftOptions o = ds_opts(4);
+    o.nontemporal = false;
+    DualSocketFft3d plan(k, n, m, Direction::Forward, o, 2);
+    cvec in2 = x, got(x.size());
+    plan.execute(in2.data(), got.data());
+    EXPECT_LT(max_err(want, got), 1e-12) << "temporal";
+  }
+}
+
+TEST(DualSocket, FourSockets) {
+  const idx_t k = 8, n = 8, m = 8;
+  auto x = random_cvec(k * n * m, 5005);
+  cvec want(x.size());
+  reference_dft_3d(x.data(), want.data(), k, n, m, Direction::Forward);
+  DualSocketFft3d plan(k, n, m, Direction::Forward, ds_opts(4), 4);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(512.0));
+  // sk=4: each exchange stage keeps 1/4 local => 2 * (3/4) N crosses.
+  EXPECT_EQ(static_cast<std::size_t>(2 * (k * n * m) * 3 / 4) * sizeof(cplx),
+            plan.traffic().write_bytes());
+}
+
+TEST(DualSocket, RejectsIndivisibleShapes) {
+  EXPECT_THROW(DualSocketFft3d(3, 4, 4, Direction::Forward, ds_opts(2), 2),
+               Error);
+  EXPECT_THROW(DualSocketFft3d(4, 3, 4, Direction::Forward, ds_opts(2), 2),
+               Error);
+}
+
+}  // namespace
+}  // namespace bwfft

@@ -1,0 +1,112 @@
+// Tests for the public facade: in-place execution, engine naming, option
+// validation and error paths.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "fft/reference.h"
+#include "fft/stage.h"
+#include "test_util.h"
+
+namespace bwfft {
+namespace {
+
+using test::fft_tol;
+using test::max_err;
+
+TEST(Facade, ExecuteInplace3d) {
+  const idx_t k = 4, n = 8, m = 8;
+  auto x = random_cvec(k * n * m, 9100);
+  cvec want(x.size());
+  reference_dft_3d(x.data(), want.data(), k, n, m, Direction::Forward);
+  FftOptions o;
+  o.threads = 2;
+  o.block_elems = 512;
+  Fft3d plan(k, n, m, Direction::Forward, o);
+  cvec data = x;
+  plan.execute_inplace(data.data());
+  EXPECT_LT(max_err(want, data), fft_tol(static_cast<double>(k * n * m)));
+  // Second in-place call reuses the work buffer.
+  cvec data2 = x;
+  plan.execute_inplace(data2.data());
+  EXPECT_EQ(0.0, max_err(data, data2));
+}
+
+TEST(Facade, ExecuteInplace2d) {
+  const idx_t n = 8, m = 16;
+  auto x = random_cvec(n * m, 9101);
+  cvec want(x.size());
+  reference_dft_2d(x.data(), want.data(), n, m, Direction::Forward);
+  Fft2d plan(n, m, Direction::Forward, {});
+  cvec data = x;
+  plan.execute_inplace(data.data());
+  EXPECT_LT(max_err(want, data), fft_tol(static_cast<double>(n * m)));
+}
+
+TEST(Facade, EngineNames) {
+  EXPECT_STREQ("reference", engine_name(EngineKind::Reference));
+  EXPECT_STREQ("pencil", engine_name(EngineKind::Pencil));
+  EXPECT_STREQ("stage-parallel", engine_name(EngineKind::StageParallel));
+  EXPECT_STREQ("slab-pencil", engine_name(EngineKind::SlabPencil));
+  EXPECT_STREQ("double-buffer", engine_name(EngineKind::DoubleBuffer));
+
+  Fft3d plan(4, 4, 4, Direction::Forward, {});
+  EXPECT_STREQ("double-buffer", plan.engine_name());
+}
+
+TEST(Facade, ReferenceEngineThroughFacade) {
+  const idx_t k = 2, n = 4, m = 4;
+  auto x = random_cvec(k * n * m, 9102);
+  cvec want(x.size());
+  reference_dft_3d(x.data(), want.data(), k, n, m, Direction::Forward);
+  FftOptions o;
+  o.engine = EngineKind::Reference;
+  Fft3d plan(k, n, m, Direction::Forward, o);
+  cvec in = x, out(x.size());
+  plan.execute(in.data(), out.data());
+  EXPECT_LT(max_err(want, out), 1e-10);
+}
+
+TEST(Facade, ReferenceEngineNormalizedInverse) {
+  const idx_t n = 4, m = 4;
+  auto x = random_cvec(n * m, 9103);
+  FftOptions fo;
+  fo.engine = EngineKind::Reference;
+  auto io = fo;
+  io.normalize_inverse = true;
+  Fft2d fwd(n, m, Direction::Forward, fo);
+  Fft2d inv(n, m, Direction::Inverse, io);
+  cvec a = x, b(x.size()), c(x.size());
+  fwd.execute(a.data(), b.data());
+  inv.execute(b.data(), c.data());
+  EXPECT_LT(max_err(x, c), 1e-10);
+}
+
+TEST(Facade, StageGeometryHelpers) {
+  EXPECT_EQ(4, packet_size_for(64));
+  EXPECT_EQ(4, packet_size_for(4));
+  EXPECT_EQ(2, packet_size_for(6));
+  EXPECT_EQ(1, packet_size_for(7));
+  EXPECT_EQ(4, resolve_packet_size(0, 64));
+  EXPECT_EQ(2, resolve_packet_size(2, 64));
+  EXPECT_THROW(resolve_packet_size(3, 64), Error);
+
+  EXPECT_EQ(8, rows_per_block(64, 10));  // largest divisor <= 10
+  EXPECT_EQ(7, rows_per_block(21, 8));
+  EXPECT_EQ(1, rows_per_block(13, 5));
+  EXPECT_EQ(64, rows_per_block(64, 1000));
+}
+
+TEST(Facade, InvalidPacketOptionThrows) {
+  FftOptions o;
+  o.packet_elems = 3;  // does not divide m = 8
+  EXPECT_THROW(Fft3d(4, 4, 8, Direction::Forward, o), Error);
+}
+
+TEST(Facade, OneDimensionalSizesRejected) {
+  EXPECT_THROW(make_engine({16}, Direction::Forward, {}), Error);
+  EXPECT_THROW(make_engine({2, 2, 2, 2}, Direction::Forward, {}), Error);
+}
+
+}  // namespace
+}  // namespace bwfft

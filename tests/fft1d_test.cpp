@@ -1,0 +1,220 @@
+// Tests for the 1D FFT engine: all execution styles against the dense
+// reference, analytic DFT properties, and parameterised size sweeps.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fft/reference.h"
+#include "fft1d/fft1d.h"
+#include "kernels/vecops.h"
+#include "test_util.h"
+
+namespace bwfft {
+namespace {
+
+using test::fft_tol;
+using test::max_err;
+
+cvec reference_fft(const cvec& x, Direction dir) {
+  cvec y(x.size());
+  reference_dft_1d(x.data(), y.data(), static_cast<idx_t>(x.size()), dir);
+  return y;
+}
+
+class Fft1dSizes : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(Fft1dSizes, BatchMatchesReference) {
+  const idx_t n = GetParam();
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n, 100 + n);
+  auto want = reference_fft(x, Direction::Forward);
+  cvec got = x;
+  plan.apply_batch(got.data(), 1);
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n))) << "n=" << n;
+}
+
+TEST_P(Fft1dSizes, InverseMatchesReference) {
+  const idx_t n = GetParam();
+  Fft1d plan(n, Direction::Inverse);
+  auto x = random_cvec(n, 200 + n);
+  auto want = reference_fft(x, Direction::Inverse);
+  cvec got = x;
+  plan.apply_batch(got.data(), 1);
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)));
+}
+
+TEST_P(Fft1dSizes, ForwardInverseRoundTrip) {
+  const idx_t n = GetParam();
+  Fft1d fwd(n, Direction::Forward), inv(n, Direction::Inverse);
+  auto x = random_cvec(n, 300 + n);
+  cvec y = x;
+  fwd.apply_batch(y.data(), 1);
+  inv.apply_batch(y.data(), 1);
+  inv.scale_inverse(y.data(), n);
+  EXPECT_LT(max_err(x, y), fft_tol(static_cast<double>(n)));
+}
+
+// Power-of-two sizes exercise Stockham; 3,5,6,7 the codelets; 9..60 the
+// Bluestein chirp-z path; 1 the no-op edge.
+INSTANTIATE_TEST_SUITE_P(AllPaths, Fft1dSizes,
+                         ::testing::Values<idx_t>(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                                  10, 12, 15, 16, 17, 31, 32,
+                                                  60, 64, 128, 256, 1024));
+
+TEST(Fft1d, BatchTransformsEachPencilIndependently) {
+  const idx_t n = 16, count = 5;
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n * count, 42);
+  cvec got = x;
+  plan.apply_batch(got.data(), count);
+  for (idx_t t = 0; t < count; ++t) {
+    cvec pencil(x.begin() + t * n, x.begin() + (t + 1) * n);
+    auto want = reference_fft(pencil, Direction::Forward);
+    cvec gp(got.begin() + t * n, got.begin() + (t + 1) * n);
+    EXPECT_LT(max_err(want, gp), fft_tol(16.0)) << "pencil " << t;
+  }
+}
+
+class Fft1dLanes : public ::testing::TestWithParam<std::tuple<idx_t, idx_t>> {};
+
+TEST_P(Fft1dLanes, LanesTransformEachLanePencil) {
+  const auto [n, lanes] = GetParam();
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n * lanes, 77);
+  cvec got = x;
+  plan.apply_lanes(got.data(), lanes, 1);
+  for (idx_t l = 0; l < lanes; ++l) {
+    cvec pencil(static_cast<std::size_t>(n));
+    for (idx_t j = 0; j < n; ++j) pencil[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(j * lanes + l)];
+    auto want = reference_fft(pencil, Direction::Forward);
+    for (idx_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(0.0,
+                  std::abs(want[static_cast<std::size_t>(j)] -
+                           got[static_cast<std::size_t>(j * lanes + l)]),
+                  fft_tol(static_cast<double>(n)))
+          << "n=" << n << " lane " << l << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LaneShapes, Fft1dLanes,
+    ::testing::Combine(::testing::Values<idx_t>(2, 4, 8, 32, 128),
+                       ::testing::Values<idx_t>(1, 2, 4, 8)));
+
+TEST(Fft1d, StridedInplaceMatchesBatch) {
+  const idx_t n = 64, stride = 5;
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n * stride, 7);
+  cvec strided = x;
+  plan.apply_strided_inplace(strided.data(), stride);
+  cvec pencil(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) pencil[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(j * stride)];
+  plan.apply_batch(pencil.data(), 1);
+  for (idx_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(0.0,
+                std::abs(pencil[static_cast<std::size_t>(j)] -
+                         strided[static_cast<std::size_t>(j * stride)]),
+                fft_tol(64.0));
+    // Elements between strides must be untouched.
+    for (idx_t o = 1; o < stride; ++o) {
+      EXPECT_EQ(x[static_cast<std::size_t>(j * stride + o)],
+                strided[static_cast<std::size_t>(j * stride + o)]);
+    }
+  }
+}
+
+TEST(Fft1d, StridedLanesMatchesGather) {
+  const idx_t n = 32, lanes = 4, row_stride = 20;
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n * row_stride, 8);
+  cvec got = x;
+  plan.apply_lanes_strided(got.data(), lanes, row_stride);
+  for (idx_t l = 0; l < lanes; ++l) {
+    cvec pencil(static_cast<std::size_t>(n));
+    for (idx_t j = 0; j < n; ++j) pencil[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(j * row_stride + l)];
+    plan.apply_batch(pencil.data(), 1);
+    for (idx_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(0.0,
+                  std::abs(pencil[static_cast<std::size_t>(j)] -
+                           got[static_cast<std::size_t>(j * row_stride + l)]),
+                  fft_tol(32.0));
+    }
+  }
+}
+
+TEST(Fft1d, ScalarPathMatchesVectorPath) {
+  const idx_t n = 256;
+  auto x = random_cvec(n, 9);
+  Fft1d plan(n, Direction::Forward);
+  cvec vec_result = x;
+  plan.apply_batch(vec_result.data(), 1);
+  set_force_scalar(true);
+  cvec scal_result = x;
+  plan.apply_batch(scal_result.data(), 1);
+  set_force_scalar(false);
+  EXPECT_LT(max_err(vec_result, scal_result), 1e-13);
+}
+
+// Linearity: F(a x + b y) = a F(x) + b F(y).
+TEST(Fft1d, Linearity) {
+  const idx_t n = 128;
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n, 10);
+  auto y = random_cvec(n, 11);
+  const cplx a(0.3, -1.2), b(2.0, 0.5);
+  cvec mix(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) mix[static_cast<std::size_t>(i)] = a * x[static_cast<std::size_t>(i)] + b * y[static_cast<std::size_t>(i)];
+  plan.apply_batch(mix.data(), 1);
+  cvec fx = x, fy = y;
+  plan.apply_batch(fx.data(), 1);
+  plan.apply_batch(fy.data(), 1);
+  for (idx_t i = 0; i < n; ++i) {
+    const cplx want = a * fx[static_cast<std::size_t>(i)] + b * fy[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(0.0, std::abs(want - mix[static_cast<std::size_t>(i)]), fft_tol(128.0));
+  }
+}
+
+// Parseval: sum |x|^2 = (1/n) sum |X|^2.
+TEST(Fft1d, Parseval) {
+  const idx_t n = 512;
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n, 12);
+  double in_energy = 0.0;
+  for (const auto& v : x) in_energy += std::norm(v);
+  plan.apply_batch(x.data(), 1);
+  double out_energy = 0.0;
+  for (const auto& v : x) out_energy += std::norm(v);
+  EXPECT_NEAR(in_energy, out_energy / static_cast<double>(n),
+              1e-10 * in_energy);
+}
+
+// Shift theorem: x[(j+s) mod n] <-> X[k] * w^{-ks}.
+TEST(Fft1d, ShiftTheorem) {
+  const idx_t n = 64, s = 5;
+  Fft1d plan(n, Direction::Forward);
+  auto x = random_cvec(n, 13);
+  cvec shifted(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) shifted[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>((j + s) % n)];
+  cvec fx = x;
+  plan.apply_batch(fx.data(), 1);
+  plan.apply_batch(shifted.data(), 1);
+  for (idx_t k = 0; k < n; ++k) {
+    // Y[k] = X[k] * e^{+2 pi i k s / n} for a left shift by s.
+    const cplx w = root_of_unity(n, (k * s) % n, Direction::Inverse);
+    EXPECT_NEAR(0.0,
+                std::abs(shifted[static_cast<std::size_t>(k)] -
+                         fx[static_cast<std::size_t>(k)] * w),
+                fft_tol(64.0))
+        << k;
+  }
+}
+
+TEST(Fft1d, RejectsInvalidSizes) {
+  EXPECT_THROW(Fft1d(0, Direction::Forward), Error);
+  Fft1d plan(12, Direction::Forward);  // non-pow2
+  cvec x(12);
+  EXPECT_THROW(plan.apply_strided_inplace(x.data(), 1), Error);
+}
+
+}  // namespace
+}  // namespace bwfft

@@ -1,0 +1,125 @@
+// Tests for the kernel layer: twiddle tables, codelets against the dense
+// DFT, and the SIMD butterfly micro-op against its scalar semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kernels/codelets.h"
+#include "kernels/twiddle.h"
+#include "kernels/vecops.h"
+#include "spl/expr.h"
+#include "test_util.h"
+
+namespace bwfft {
+namespace {
+
+using test::max_err;
+
+TEST(Twiddle, RootsOfUnity) {
+  // w_4^1 forward = -i; inverse = +i.
+  auto f = root_of_unity(4, 1, Direction::Forward);
+  EXPECT_NEAR(0.0, f.real(), 1e-15);
+  EXPECT_NEAR(-1.0, f.imag(), 1e-15);
+  auto i = root_of_unity(4, 1, Direction::Inverse);
+  EXPECT_NEAR(1.0, i.imag(), 1e-15);
+  // Period: w_n^{p} == w_n^{p mod n}.
+  EXPECT_NEAR(0.0,
+              std::abs(root_of_unity(8, 11, Direction::Forward) -
+                       root_of_unity(8, 3, Direction::Forward)),
+              1e-15);
+}
+
+TEST(Twiddle, TableMatchesScalar) {
+  auto t = root_table(16, 16, Direction::Forward);
+  for (idx_t p = 0; p < 16; ++p) {
+    EXPECT_EQ(t[static_cast<std::size_t>(p)], root_of_unity(16, p, Direction::Forward));
+  }
+}
+
+TEST(Twiddle, StockhamLevels) {
+  auto levels = stockham_twiddles(16, Direction::Forward);
+  ASSERT_EQ(4u, levels.size());
+  EXPECT_EQ(8u, levels[0].size());
+  EXPECT_EQ(4u, levels[1].size());
+  EXPECT_EQ(2u, levels[2].size());
+  EXPECT_EQ(1u, levels[3].size());
+  // Level l twiddles are roots of order 16 >> l.
+  EXPECT_NEAR(0.0,
+              std::abs(levels[1][1] - root_of_unity(8, 1, Direction::Forward)),
+              1e-15);
+}
+
+TEST(Twiddle, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(0, log2_floor(1));
+  EXPECT_EQ(10, log2_floor(1024));
+}
+
+class CodeletSizes : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(CodeletSizes, MatchesDenseDftBothDirections) {
+  const idx_t n = GetParam();
+  auto fn = codelets::lookup(n);
+  ASSERT_NE(nullptr, fn);
+  for (Direction dir : {Direction::Forward, Direction::Inverse}) {
+    auto x = random_cvec(n, 600 + n);
+    cvec got(x.size());
+    fn(x.data(), 1, got.data(), 1, dir);
+    auto want = (*spl::dft(n, dir))(x);
+    EXPECT_LT(max_err(want, got), 1e-13) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CodeletSizes,
+                         ::testing::Values<idx_t>(2, 3, 4, 5, 6, 7, 8, 16));
+
+TEST(Codelets, StridedInputAndOutput) {
+  const idx_t n = 8, is = 3, os = 2;
+  auto x = random_cvec(n * is, 700);
+  cvec got(static_cast<std::size_t>(n * os), cplx(-9, -9));
+  codelets::dft8(x.data(), is, got.data(), os, Direction::Forward);
+  cvec gathered(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) gathered[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(j * is)];
+  auto want = (*spl::dft(n))(gathered);
+  for (idx_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(0.0,
+                std::abs(want[static_cast<std::size_t>(j)] -
+                         got[static_cast<std::size_t>(j * os)]),
+                1e-13);
+  }
+  // Holes between output strides must be untouched.
+  EXPECT_EQ(cplx(-9, -9), got[1]);
+}
+
+TEST(Codelets, LookupMissingSizes) {
+  EXPECT_EQ(nullptr, codelets::lookup(9));
+  EXPECT_EQ(nullptr, codelets::lookup(32));
+}
+
+TEST(VecOps, ButterflyPacketsMatchesScalar) {
+  for (idx_t count : {2, 4, 8, 16}) {
+    auto a = random_cvec(count, 800);
+    auto b = random_cvec(count, 801);
+    const cplx w(0.6, -0.8);
+    cvec lo_v(a.size()), hi_v(a.size()), lo_s(a.size()), hi_s(a.size());
+    vecops::butterfly_packets(a.data(), b.data(), w, lo_v.data(), hi_v.data(),
+                              count);
+    vecops::butterfly_packets_scalar(a.data(), b.data(), w, lo_s.data(),
+                                     hi_s.data(), count);
+    EXPECT_LT(max_err(lo_v, lo_s), 1e-15) << count;
+    EXPECT_LT(max_err(hi_v, hi_s), 1e-15) << count;
+  }
+}
+
+TEST(VecOps, ForceScalarToggle) {
+  EXPECT_FALSE(force_scalar());
+  set_force_scalar(true);
+  EXPECT_TRUE(force_scalar());
+  set_force_scalar(false);
+  EXPECT_FALSE(force_scalar());
+}
+
+}  // namespace
+}  // namespace bwfft

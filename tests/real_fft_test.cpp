@@ -1,0 +1,93 @@
+// Tests for the real-to-complex 1D transform.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fft/reference.h"
+#include "fft1d/real.h"
+#include "test_util.h"
+
+namespace bwfft {
+namespace {
+
+using test::fft_tol;
+
+dvec random_real(idx_t n, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> d(-1, 1);
+  dvec v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = d(gen);
+  return v;
+}
+
+class RealFftSizes : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(RealFftSizes, ForwardMatchesComplexReference) {
+  const idx_t n = GetParam();
+  auto x = random_real(n, 8000 + n);
+  cvec cx(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) cx[static_cast<std::size_t>(j)] = cplx(x[static_cast<std::size_t>(j)], 0);
+  cvec want(cx.size());
+  reference_dft_1d(cx.data(), want.data(), n, Direction::Forward);
+
+  RealFft1d plan(n);
+  cvec half(static_cast<std::size_t>(plan.spectrum_size()));
+  plan.forward(x.data(), half.data());
+  for (idx_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(0.0,
+                std::abs(half[static_cast<std::size_t>(k)] -
+                         want[static_cast<std::size_t>(k)]),
+                fft_tol(static_cast<double>(n)))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(RealFftSizes, RoundTrip) {
+  const idx_t n = GetParam();
+  auto x = random_real(n, 8100 + n);
+  RealFft1d plan(n);
+  cvec half(static_cast<std::size_t>(plan.spectrum_size()));
+  plan.forward(x.data(), half.data());
+  dvec back(static_cast<std::size_t>(n));
+  plan.inverse(half.data(), back.data(), /*normalize=*/true);
+  for (idx_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(j)], back[static_cast<std::size_t>(j)],
+                fft_tol(static_cast<double>(n)));
+  }
+}
+
+TEST_P(RealFftSizes, UnnormalizedInverseIsNTimesInput) {
+  const idx_t n = GetParam();
+  auto x = random_real(n, 8200 + n);
+  RealFft1d plan(n);
+  cvec half(static_cast<std::size_t>(plan.spectrum_size()));
+  plan.forward(x.data(), half.data());
+  dvec back(static_cast<std::size_t>(n));
+  plan.inverse(half.data(), back.data(), /*normalize=*/false);
+  for (idx_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(static_cast<double>(n) * x[static_cast<std::size_t>(j)],
+                back[static_cast<std::size_t>(j)], fft_tol(static_cast<double>(n)) * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftSizes,
+                         ::testing::Values<idx_t>(2, 4, 8, 6, 10, 16, 64, 100,
+                                                  256, 1024));
+
+TEST(RealFft, EdgeBinsAreReal) {
+  const idx_t n = 32;
+  auto x = random_real(n, 8300);
+  RealFft1d plan(n);
+  cvec half(static_cast<std::size_t>(plan.spectrum_size()));
+  plan.forward(x.data(), half.data());
+  EXPECT_NEAR(0.0, half[0].imag(), 1e-12);                     // DC
+  EXPECT_NEAR(0.0, half[static_cast<std::size_t>(n / 2)].imag(), 1e-12);  // Nyquist
+}
+
+TEST(RealFft, RejectsOddSizes) {
+  EXPECT_THROW(RealFft1d(7), Error);
+  EXPECT_THROW(RealFft1d(1), Error);
+}
+
+}  // namespace
+}  // namespace bwfft

@@ -1,0 +1,173 @@
+// Tests for the paper's SPL factorisations: every decomposition of
+// §II-D/§III-A/§III-B/§IV-B must equal the dense multidimensional DFT.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spl/algorithms.h"
+#include "test_util.h"
+
+namespace bwfft::spl {
+namespace {
+
+using bwfft::test::max_err;
+
+ExprPtr dense_2d(idx_t n, idx_t m, Direction dir = Direction::Forward) {
+  return kron(dft(n, dir), dft(m, dir));
+}
+
+ExprPtr dense_3d(idx_t k, idx_t n, idx_t m, Direction dir = Direction::Forward) {
+  return kron(dft(k, dir), kron(dft(n, dir), dft(m, dir)));
+}
+
+TEST(SplAlgorithms, CooleyTukeyEqualsDenseDft) {
+  for (auto [m, n] : {std::pair<idx_t, idx_t>{2, 4},
+                      {4, 4},
+                      {8, 2},
+                      {3, 5},
+                      {4, 6}}) {
+    auto ct = cooley_tukey(m, n);
+    EXPECT_LT(max_abs_diff(*ct, *dft(m * n)), 1e-10)
+        << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(SplAlgorithms, CooleyTukeyInverseDirection) {
+  auto ct = cooley_tukey(4, 4, Direction::Inverse);
+  EXPECT_LT(max_abs_diff(*ct, *dft(16, Direction::Inverse)), 1e-10);
+}
+
+TEST(SplAlgorithms, Pencil2dEqualsDense) {
+  EXPECT_LT(max_abs_diff(*dft2d_pencil(4, 6), *dense_2d(4, 6)), 1e-10);
+}
+
+TEST(SplAlgorithms, Transposed2dEqualsDense) {
+  EXPECT_LT(max_abs_diff(*dft2d_transposed(4, 6), *dense_2d(4, 6)), 1e-10);
+  EXPECT_LT(max_abs_diff(*dft2d_transposed(8, 4), *dense_2d(8, 4)), 1e-10);
+}
+
+TEST(SplAlgorithms, Blocked2dEqualsDense) {
+  // mu = 2 and 4 cover the cacheline-packet blocking of §III-A.
+  EXPECT_LT(max_abs_diff(*dft2d_blocked(4, 8, 2), *dense_2d(4, 8)), 1e-10);
+  EXPECT_LT(max_abs_diff(*dft2d_blocked(4, 8, 4), *dense_2d(4, 8)), 1e-10);
+  EXPECT_LT(max_abs_diff(*dft2d_blocked(6, 4, 2), *dense_2d(6, 4)), 1e-10);
+}
+
+TEST(SplAlgorithms, Pencil3dEqualsDense) {
+  EXPECT_LT(max_abs_diff(*dft3d_pencil(2, 4, 4), *dense_3d(2, 4, 4)), 1e-10);
+}
+
+TEST(SplAlgorithms, SlabPencil3dEqualsDense) {
+  EXPECT_LT(max_abs_diff(*dft3d_slab_pencil(3, 2, 4), *dense_3d(3, 2, 4)),
+            1e-10);
+}
+
+// Fig 5 semantics: K_c^{a,b} maps cube a x b x c to cube c x a x b with
+// out[ci][ai][bi] = in[ai][bi][ci].
+TEST(SplAlgorithms, RotationMovesCubeEntries) {
+  const idx_t a = 2, b = 3, c = 4;
+  auto x = random_cvec(a * b * c, 13);
+  auto y = (*rotation_k(a, b, c))(x);
+  for (idx_t ai = 0; ai < a; ++ai) {
+    for (idx_t bi = 0; bi < b; ++bi) {
+      for (idx_t ci = 0; ci < c; ++ci) {
+        EXPECT_EQ(x[static_cast<std::size_t>(ai * b * c + bi * c + ci)],
+                  y[static_cast<std::size_t>(ci * a * b + ai * b + bi)]);
+      }
+    }
+  }
+}
+
+// Three rotations cycle the cube back to the original orientation.
+TEST(SplAlgorithms, ThreeRotationsAreIdentity) {
+  const idx_t k = 2, n = 3, m = 4;
+  auto three = compose({
+      rotation_k(n, m, k),  // n x m x k -> k x n x m
+      rotation_k(m, k, n),  // m x k x n -> n x m x k
+      rotation_k(k, n, m),  // k x n x m -> m x k x n
+  });
+  EXPECT_LT(max_abs_diff(*three, *identity(k * n * m)), 1e-15);
+}
+
+TEST(SplAlgorithms, BlockedRotationWithMuOneIsElementRotation) {
+  EXPECT_LT(max_abs_diff(*rotation_k_blocked(2, 3, 4, 1), *rotation_k(2, 3, 4)),
+            1e-15);
+}
+
+// The paper's adopted decomposition (§III-A) equals the dense 3D DFT and
+// ends in natural order — for several shapes and packet sizes.
+TEST(SplAlgorithms, Rotated3dEqualsDense) {
+  struct Case {
+    idx_t k, n, m, mu;
+  };
+  for (const Case& c : {Case{2, 2, 4, 2}, Case{2, 4, 4, 4}, Case{4, 2, 8, 4},
+                        Case{3, 2, 4, 2}, Case{2, 3, 6, 2}}) {
+    auto got = dft3d_rotated(c.k, c.n, c.m, c.mu);
+    EXPECT_LT(max_abs_diff(*got, *dense_3d(c.k, c.n, c.m)), 1e-10)
+        << c.k << "x" << c.n << "x" << c.m << " mu=" << c.mu;
+  }
+}
+
+TEST(SplAlgorithms, Rotated2dViaBlockedFormulaEqualsDense) {
+  EXPECT_LT(max_abs_diff(*dft2d_blocked(4, 8, 4), *dense_2d(4, 8)), 1e-10);
+}
+
+// §III-B: the tiled stage-1 sum over W_{b,i} . compute . R_{b,i} equals
+// the untiled stage 1.
+TEST(SplAlgorithms, TiledStage1SumEqualsWholeStage) {
+  const idx_t k = 2, n = 4, m = 4, mu = 2, b = 16;
+  auto whole = compose({rotation_k_blocked(k, n, m, mu),
+                        kron(identity(k * n), dft(m))});
+  auto iters = stage1_tiled(k, n, m, mu, b);
+  ASSERT_EQ(static_cast<std::size_t>(k * n * m / b), iters.size());
+  auto x = random_cvec(k * n * m, 14);
+  cvec acc(static_cast<std::size_t>(k * n * m), cplx(0, 0));
+  for (const auto& it : iters) {
+    auto piece = (*it)(x);
+    for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += piece[j];
+  }
+  auto want = (*whole)(x);
+  EXPECT_LT(max_err(want, acc), 1e-10);
+}
+
+// Read matrices load contiguous windows (streaming-friendly, §III-C).
+TEST(SplAlgorithms, ReadMatrixIsContiguousWindow) {
+  auto x = random_cvec(24, 15);
+  auto y = (*read_matrix(24, 6, 2))(x);
+  for (idx_t j = 0; j < 6; ++j) EXPECT_EQ(x[static_cast<std::size_t>(12 + j)], y[static_cast<std::size_t>(j)]);
+}
+
+// Table III / §IV-B: the dual-socket factorisation equals the dense 3D
+// DFT for two sockets (and degrades to the single-socket one for sk = 1).
+TEST(SplAlgorithms, DualSocketEqualsDense) {
+  struct Case {
+    idx_t k, n, m, mu, sk;
+  };
+  for (const Case& c : {Case{4, 4, 4, 2, 2}, Case{4, 2, 4, 2, 2},
+                        Case{2, 2, 4, 2, 1}, Case{4, 4, 8, 4, 2}}) {
+    auto got = dft3d_dual_socket(c.k, c.n, c.m, c.mu, c.sk);
+    EXPECT_LT(max_abs_diff(*got, *dense_3d(c.k, c.n, c.m)), 1e-10)
+        << c.k << "x" << c.n << "x" << c.m << " sk=" << c.sk;
+  }
+}
+
+// Stage-1 writes must stay within the owning socket's slab: W1 applied to
+// a vector supported on socket 0's slab stays in socket 0's slab.
+TEST(SplAlgorithms, DualSocketW1IsSocketLocal) {
+  const idx_t k = 4, n = 2, m = 4, mu = 2, sk = 2;
+  const idx_t slab = k * n * m / sk;
+  auto w1 = dual_socket_w1(k, n, m, mu, sk);
+  cvec x(static_cast<std::size_t>(k * n * m), cplx(0, 0));
+  fill_random(x.data(), slab, 16);  // support only on slab 0
+  auto y = (*w1)(x);
+  for (idx_t j = slab; j < k * n * m; ++j) {
+    EXPECT_EQ(cplx(0, 0), y[static_cast<std::size_t>(j)]);
+  }
+}
+
+TEST(SplAlgorithms, DualSocketRequiresDivisibility) {
+  EXPECT_THROW(dft3d_dual_socket(3, 4, 4, 2, 2), Error);  // sk does not divide k
+  EXPECT_THROW(dft3d_dual_socket(4, 3, 4, 2, 2), Error);  // sk does not divide n
+}
+
+}  // namespace
+}  // namespace bwfft::spl

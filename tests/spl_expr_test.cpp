@@ -1,0 +1,195 @@
+// Unit tests for the SPL expression library: terminal semantics, the
+// Table I construct-to-code mappings, and the algebraic identities of
+// §II-C the paper's derivation relies on.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spl/expr.h"
+#include "test_util.h"
+
+namespace bwfft::spl {
+namespace {
+
+using bwfft::test::max_err;
+
+TEST(SplExpr, IdentityIsNoOp) {
+  auto x = random_cvec(7, 1);
+  auto y = (*identity(7))(x);
+  EXPECT_EQ(0.0, max_err(x, y));
+}
+
+TEST(SplExpr, RectIdentityPadsWithZeros) {
+  auto x = random_cvec(3, 2);
+  auto y = (*rect_identity(5, 3))(x);
+  ASSERT_EQ(5u, y.size());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(x[i], y[i]);
+  EXPECT_EQ(cplx(0, 0), y[3]);
+  EXPECT_EQ(cplx(0, 0), y[4]);
+}
+
+TEST(SplExpr, RectIdentityTruncates) {
+  auto x = random_cvec(5, 3);
+  auto y = (*rect_identity(3, 5))(x);
+  ASSERT_EQ(3u, y.size());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(x[i], y[i]);
+}
+
+TEST(SplExpr, ZeroAnnihilates) {
+  auto x = random_cvec(4, 4);
+  auto y = (*zero(6, 4))(x);
+  for (const auto& v : y) EXPECT_EQ(cplx(0, 0), v);
+}
+
+TEST(SplExpr, DftOfImpulseIsAllOnes) {
+  cvec x(8, cplx(0, 0));
+  x[0] = cplx(1, 0);
+  auto y = (*dft(8))(x);
+  for (const auto& v : y) {
+    EXPECT_NEAR(1.0, v.real(), 1e-12);
+    EXPECT_NEAR(0.0, v.imag(), 1e-12);
+  }
+}
+
+TEST(SplExpr, DftOfConstantIsImpulse) {
+  cvec x(8, cplx(1, 0));
+  auto y = (*dft(8))(x);
+  EXPECT_NEAR(8.0, y[0].real(), 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(0.0, std::abs(y[i]), 1e-12);
+}
+
+TEST(SplExpr, DftForwardInverseRoundTrip) {
+  auto x = random_cvec(12, 5);
+  auto y = (*dft(12, Direction::Forward))(x);
+  auto z = (*dft(12, Direction::Inverse))(y);
+  for (auto& v : z) v /= 12.0;
+  EXPECT_LT(max_err(x, z), 1e-12);
+}
+
+TEST(SplExpr, DiagScales) {
+  cvec d = {cplx(2, 0), cplx(0, 1), cplx(-1, 0)};
+  cvec x = {cplx(1, 1), cplx(2, 0), cplx(0, 3)};
+  auto y = (*diag(d))(x);
+  EXPECT_EQ(cplx(2, 2), y[0]);
+  EXPECT_EQ(cplx(0, 2), y[1]);
+  EXPECT_EQ(cplx(0, -3), y[2]);
+}
+
+// Table I row: y = L_m^{mn} x  <=>  y[i + m*j] = x[n*i + j].
+TEST(SplExpr, StridePermMatchesTableOne) {
+  const idx_t m = 3, n = 4;
+  auto x = random_cvec(m * n, 6);
+  // Paper definition L_n^{mn}: in+j -> jm+i, 0<=i<m, 0<=j<n.
+  auto y = (*stride_perm(m * n, n))(x);
+  for (idx_t i = 0; i < m; ++i) {
+    for (idx_t j = 0; j < n; ++j) {
+      EXPECT_EQ(x[static_cast<std::size_t>(i * n + j)],
+                y[static_cast<std::size_t>(j * m + i)]);
+    }
+  }
+}
+
+// §II-C identity: L_m^{mn} L_n^{mn} = I_mn.
+TEST(SplExpr, StridePermInverse) {
+  const idx_t m = 4, n = 6;
+  auto both = compose({stride_perm(m * n, m), stride_perm(m * n, n)});
+  EXPECT_LT(max_abs_diff(*both, *identity(m * n)), 1e-15);
+}
+
+// §II-C identity: A (x) B = L_m^{mn} (B (x) A) L_n^{mn} for A_m, B_n.
+TEST(SplExpr, KronCommutationIdentity) {
+  const idx_t m = 3, n = 4;
+  auto a = dft(m);
+  auto b = dft(n);
+  auto lhs = kron(a, b);
+  auto rhs = compose({stride_perm(m * n, m), kron(b, a),
+                      stride_perm(m * n, n)});
+  EXPECT_LT(max_abs_diff(*lhs, *rhs), 1e-12);
+}
+
+// Table I row: y = (I_m (x) B_n) x applies B on contiguous blocks.
+TEST(SplExpr, KronIdentityLeftIsBlockApply) {
+  const idx_t m = 3, n = 4;
+  auto b = dft(n);
+  auto op = kron(identity(m), b);
+  auto x = random_cvec(m * n, 7);
+  auto y = (*op)(x);
+  for (idx_t i = 0; i < m; ++i) {
+    cvec blk(x.begin() + i * n, x.begin() + (i + 1) * n);
+    auto want = (*b)(blk);
+    for (idx_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(0.0,
+                  std::abs(want[static_cast<std::size_t>(j)] -
+                           y[static_cast<std::size_t>(i * n + j)]),
+                  1e-12);
+    }
+  }
+}
+
+// Table I row: y = (A_m (x) I_n) x applies A at stride n.
+TEST(SplExpr, KronIdentityRightIsStridedApply) {
+  const idx_t m = 4, n = 3;
+  auto a = dft(m);
+  auto op = kron(a, identity(n));
+  auto x = random_cvec(m * n, 8);
+  auto y = (*op)(x);
+  for (idx_t c = 0; c < n; ++c) {
+    cvec col(static_cast<std::size_t>(m));
+    for (idx_t r = 0; r < m; ++r) col[static_cast<std::size_t>(r)] = x[static_cast<std::size_t>(r * n + c)];
+    auto want = (*a)(col);
+    for (idx_t r = 0; r < m; ++r) {
+      EXPECT_NEAR(0.0,
+                  std::abs(want[static_cast<std::size_t>(r)] -
+                           y[static_cast<std::size_t>(r * n + c)]),
+                  1e-12);
+    }
+  }
+}
+
+// §III-B: gathers/scatters slice the identity: sum_i S_{n,b,i} G_{n,b,i} = I.
+TEST(SplExpr, GatherScatterPartitionOfIdentity) {
+  const idx_t n = 12, b = 3;
+  auto x = random_cvec(n, 9);
+  cvec acc(static_cast<std::size_t>(n), cplx(0, 0));
+  for (idx_t i = 0; i < n / b; ++i) {
+    auto piece = (*compose({scatter(n, b, i), gather(n, b, i)}))(x);
+    for (idx_t j = 0; j < n; ++j) acc[static_cast<std::size_t>(j)] += piece[static_cast<std::size_t>(j)];
+  }
+  EXPECT_LT(max_err(x, acc), 1e-15);
+}
+
+TEST(SplExpr, GatherPicksWindow) {
+  const idx_t n = 10, b = 2;
+  auto x = random_cvec(n, 10);
+  auto y = (*gather(n, b, 3))(x);
+  EXPECT_EQ(x[6], y[0]);
+  EXPECT_EQ(x[7], y[1]);
+}
+
+TEST(SplExpr, DirectSumAppliesBlocks) {
+  auto op = direct_sum({dft(2), identity(3)});
+  EXPECT_EQ(5, op->rows());
+  auto x = random_cvec(5, 11);
+  auto y = (*op)(x);
+  EXPECT_NEAR(0.0, std::abs(y[0] - (x[0] + x[1])), 1e-12);
+  EXPECT_NEAR(0.0, std::abs(y[1] - (x[0] - x[1])), 1e-12);
+  EXPECT_EQ(x[2], y[2]);
+  EXPECT_EQ(x[3], y[3]);
+  EXPECT_EQ(x[4], y[4]);
+}
+
+TEST(SplExpr, ComposeShapeMismatchThrows) {
+  EXPECT_THROW(compose({dft(4), dft(5)}), Error);
+}
+
+TEST(SplExpr, OperandSizeMismatchThrows) {
+  auto x = random_cvec(5, 12);
+  EXPECT_THROW((*dft(4))(x), Error);
+}
+
+TEST(SplExpr, PrettyPrinting) {
+  auto e = compose({kron(dft(4), identity(8)), stride_perm(32, 4)});
+  EXPECT_EQ("((DFT_4 (x) I_8) . L^32_4)", e->str());
+}
+
+}  // namespace
+}  // namespace bwfft::spl

@@ -1,0 +1,90 @@
+// Tests for SPL lowering: compiled programs must reproduce the dense
+// semantics of their source terms using the optimised kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spl/algorithms.h"
+#include "spl/lower.h"
+#include "test_util.h"
+
+namespace bwfft::spl {
+namespace {
+
+using bwfft::test::fft_tol;
+using bwfft::test::max_err;
+
+void expect_program_matches(const ExprPtr& e) {
+  Program prog = lower(*e);
+  auto x = random_cvec(e->cols(), 9000 + e->cols());
+  auto want = (*e)(x);
+  auto got = prog.run(x);
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(e->cols())))
+      << e->str() << "\nprogram:\n"
+      << prog.describe();
+}
+
+TEST(SplLower, BatchFftFromKron) {
+  expect_program_matches(kron(identity(4), dft(8)));
+  expect_program_matches(kron(dft(8), identity(4)));
+  expect_program_matches(kron(identity(2), kron(dft(8), identity(4))));
+}
+
+TEST(SplLower, TransposeFromStridePerm) {
+  expect_program_matches(stride_perm(24, 6));
+  expect_program_matches(kron(stride_perm(16, 4), identity(4)));
+  expect_program_matches(kron(identity(3), stride_perm(8, 2)));
+}
+
+TEST(SplLower, CooleyTukeyProgram) {
+  expect_program_matches(cooley_tukey(4, 8));
+  // The program must contain the diagonal twiddle scale.
+  Program prog = lower(*cooley_tukey(4, 8));
+  bool has_scale = false;
+  for (const auto& op : prog.ops()) {
+    if (op.kind == LowerOp::Kind::Scale) has_scale = true;
+  }
+  EXPECT_TRUE(has_scale);
+}
+
+TEST(SplLower, Blocked2dProgram) {
+  expect_program_matches(dft2d_blocked(8, 16, 4));
+}
+
+TEST(SplLower, Rotated3dProgram) {
+  expect_program_matches(dft3d_rotated(4, 4, 8, 4));
+  expect_program_matches(dft3d_rotated(2, 8, 8, 2));
+}
+
+TEST(SplLower, ProgramAgainstDenseDft3d) {
+  // Ultimate check: the compiled rotated 3D program equals the dense MDFT.
+  auto e = dft3d_rotated(4, 4, 8, 4);
+  auto dense3d = kron(dft(4), kron(dft(4), dft(8)));
+  Program prog = lower(*e);
+  auto x = random_cvec(e->cols(), 9999);
+  auto want = (*dense3d)(x);
+  auto got = prog.run(x);
+  EXPECT_LT(max_err(want, got), fft_tol(128.0));
+}
+
+TEST(SplLower, DescribeListsOps) {
+  Program prog = lower(*cooley_tukey(2, 4));
+  const std::string desc = prog.describe();
+  EXPECT_NE(std::string::npos, desc.find("batch_fft"));
+  EXPECT_NE(std::string::npos, desc.find("batch_transpose"));
+  EXPECT_NE(std::string::npos, desc.find("scale"));
+}
+
+TEST(SplLower, RejectsUnlowerableTerms) {
+  EXPECT_THROW(lower(*kron(dft(2), dft(2))), Error);      // no identity side
+  EXPECT_THROW(lower(*gather(8, 2, 0)), Error);           // non-square
+  EXPECT_THROW(lower(*rect_identity(4, 4)), Error);       // unknown node
+}
+
+TEST(SplLower, InputLengthChecked) {
+  Program prog = lower(*dft(8));
+  cvec wrong(4);
+  EXPECT_THROW(prog.run(wrong), Error);
+}
+
+}  // namespace
+}  // namespace bwfft::spl

@@ -1,0 +1,33 @@
+// Tests for the STREAM bandwidth substrate.
+#include <gtest/gtest.h>
+
+#include "stream/stream.h"
+
+namespace bwfft {
+namespace {
+
+TEST(Stream, ReportsPositiveBandwidths) {
+  // Small arrays so the test is quick; rates are then cache rates, which
+  // is fine — we only check the plumbing, not the absolute numbers.
+  auto r = run_stream(1 << 16, 2, 2);
+  EXPECT_GT(r.copy_gbs, 0.0);
+  EXPECT_GT(r.scale_gbs, 0.0);
+  EXPECT_GT(r.add_gbs, 0.0);
+  EXPECT_GT(r.triad_gbs, 0.0);
+  EXPECT_EQ(r.best(), r.triad_gbs);
+}
+
+TEST(Stream, SingleThreadWorks) {
+  auto r = run_stream(1 << 14, 1, 1);
+  EXPECT_GT(r.triad_gbs, 0.0);
+}
+
+TEST(Stream, MeasuredBandwidthIsCachedAndPositive) {
+  const double a = measured_stream_bandwidth_gbs();
+  const double b = measured_stream_bandwidth_gbs();
+  EXPECT_GT(a, 0.0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bwfft

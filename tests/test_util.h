@@ -1,0 +1,30 @@
+// Shared helpers for the bwfft test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace bwfft::test {
+
+/// Max |a-b| over two complex vectors (sizes must match).
+inline double max_err(const cvec& a, const cvec& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+/// Error tolerance scaled to transform size: FFT round-off grows ~log n
+/// and values grow ~sqrt(n) for unit-magnitude inputs.
+inline double fft_tol(double n_total) {
+  return 1e-12 * std::max(1.0, std::sqrt(n_total) * std::log2(n_total + 1));
+}
+
+}  // namespace bwfft::test
