@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_datamovement.dir/ablation_datamovement.cpp.o"
+  "CMakeFiles/ablation_datamovement.dir/ablation_datamovement.cpp.o.d"
+  "ablation_datamovement"
+  "ablation_datamovement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_datamovement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

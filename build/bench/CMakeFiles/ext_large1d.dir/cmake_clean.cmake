@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_large1d.dir/ext_large1d.cpp.o"
+  "CMakeFiles/ext_large1d.dir/ext_large1d.cpp.o.d"
+  "ext_large1d"
+  "ext_large1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_large1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dual_socket.dir/fig10_dual_socket.cpp.o"
+  "CMakeFiles/fig10_dual_socket.dir/fig10_dual_socket.cpp.o.d"
+  "fig10_dual_socket"
+  "fig10_dual_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dual_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_single_socket.dir/fig11_single_socket.cpp.o"
+  "CMakeFiles/fig11_single_socket.dir/fig11_single_socket.cpp.o.d"
+  "fig11_single_socket"
+  "fig11_single_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_single_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_3d_peak.dir/fig1_3d_peak.cpp.o"
+  "CMakeFiles/fig1_3d_peak.dir/fig1_3d_peak.cpp.o.d"
+  "fig1_3d_peak"
+  "fig1_3d_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_3d_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

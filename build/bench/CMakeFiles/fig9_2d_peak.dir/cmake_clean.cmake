@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_2d_peak.dir/fig9_2d_peak.cpp.o"
+  "CMakeFiles/fig9_2d_peak.dir/fig9_2d_peak.cpp.o.d"
+  "fig9_2d_peak"
+  "fig9_2d_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_2d_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

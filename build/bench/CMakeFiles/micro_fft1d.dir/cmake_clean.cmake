@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fft1d.dir/micro_fft1d.cpp.o"
+  "CMakeFiles/micro_fft1d.dir/micro_fft1d.cpp.o.d"
+  "micro_fft1d"
+  "micro_fft1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fft1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

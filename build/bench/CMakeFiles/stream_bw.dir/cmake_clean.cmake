@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_bw.dir/stream_bw.cpp.o"
+  "CMakeFiles/stream_bw.dir/stream_bw.cpp.o.d"
+  "stream_bw"
+  "stream_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

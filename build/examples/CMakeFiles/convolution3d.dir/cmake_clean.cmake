@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution3d.dir/convolution3d.cpp.o"
+  "CMakeFiles/convolution3d.dir/convolution3d.cpp.o.d"
+  "convolution3d"
+  "convolution3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowpass2d.dir/lowpass2d.cpp.o"
+  "CMakeFiles/lowpass2d.dir/lowpass2d.cpp.o.d"
+  "lowpass2d"
+  "lowpass2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowpass2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

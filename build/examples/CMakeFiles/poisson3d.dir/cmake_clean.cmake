@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson3d.dir/poisson3d.cpp.o"
+  "CMakeFiles/poisson3d.dir/poisson3d.cpp.o.d"
+  "poisson3d"
+  "poisson3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spectrum1d.cpp" "examples/CMakeFiles/spectrum1d.dir/spectrum1d.cpp.o" "gcc" "examples/CMakeFiles/spectrum1d.dir/spectrum1d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/bwfft_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/spl/CMakeFiles/bwfft_spl.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/bwfft_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/bwfft_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bwfft_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft1d/CMakeFiles/bwfft_fft1d.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bwfft_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bwfft_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bwfft_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum1d.dir/spectrum1d.cpp.o"
+  "CMakeFiles/spectrum1d.dir/spectrum1d.cpp.o.d"
+  "spectrum1d"
+  "spectrum1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

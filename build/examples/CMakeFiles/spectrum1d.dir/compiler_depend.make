@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spectrum1d.
+# This may be replaced when dependencies are built.

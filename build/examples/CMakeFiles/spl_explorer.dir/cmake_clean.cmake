@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_explorer.dir/spl_explorer.cpp.o"
+  "CMakeFiles/spl_explorer.dir/spl_explorer.cpp.o.d"
+  "spl_explorer"
+  "spl_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_benchutil.dir/metrics.cpp.o"
+  "CMakeFiles/bwfft_benchutil.dir/metrics.cpp.o.d"
+  "CMakeFiles/bwfft_benchutil.dir/table.cpp.o"
+  "CMakeFiles/bwfft_benchutil.dir/table.cpp.o.d"
+  "libbwfft_benchutil.a"
+  "libbwfft_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_common.dir/aligned.cpp.o"
+  "CMakeFiles/bwfft_common.dir/aligned.cpp.o.d"
+  "CMakeFiles/bwfft_common.dir/cpu.cpp.o"
+  "CMakeFiles/bwfft_common.dir/cpu.cpp.o.d"
+  "CMakeFiles/bwfft_common.dir/topology.cpp.o"
+  "CMakeFiles/bwfft_common.dir/topology.cpp.o.d"
+  "libbwfft_common.a"
+  "libbwfft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

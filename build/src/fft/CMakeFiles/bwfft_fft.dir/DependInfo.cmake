@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/double_buffer.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/double_buffer.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/double_buffer.cpp.o.d"
+  "/root/repo/src/fft/double_buffer_1d.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/double_buffer_1d.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/double_buffer_1d.cpp.o.d"
+  "/root/repo/src/fft/dual_socket.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/dual_socket.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/dual_socket.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/fft.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/fft.cpp.o.d"
+  "/root/repo/src/fft/pencil.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/pencil.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/pencil.cpp.o.d"
+  "/root/repo/src/fft/reference.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/reference.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/reference.cpp.o.d"
+  "/root/repo/src/fft/slab_pencil.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/slab_pencil.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/slab_pencil.cpp.o.d"
+  "/root/repo/src/fft/stage_parallel.cpp" "src/fft/CMakeFiles/bwfft_fft.dir/stage_parallel.cpp.o" "gcc" "src/fft/CMakeFiles/bwfft_fft.dir/stage_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft1d/CMakeFiles/bwfft_fft1d.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bwfft_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bwfft_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bwfft_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bwfft_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

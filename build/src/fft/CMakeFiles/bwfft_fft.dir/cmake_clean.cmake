@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_fft.dir/double_buffer.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/double_buffer.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/double_buffer_1d.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/double_buffer_1d.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/dual_socket.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/dual_socket.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/fft.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/pencil.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/pencil.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/reference.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/reference.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/slab_pencil.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/slab_pencil.cpp.o.d"
+  "CMakeFiles/bwfft_fft.dir/stage_parallel.cpp.o"
+  "CMakeFiles/bwfft_fft.dir/stage_parallel.cpp.o.d"
+  "libbwfft_fft.a"
+  "libbwfft_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft1d/fft1d.cpp" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/fft1d.cpp.o" "gcc" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/fft1d.cpp.o.d"
+  "/root/repo/src/fft1d/fft1d_split.cpp" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/fft1d_split.cpp.o" "gcc" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/fft1d_split.cpp.o.d"
+  "/root/repo/src/fft1d/mixed_radix.cpp" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/mixed_radix.cpp.o" "gcc" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/mixed_radix.cpp.o.d"
+  "/root/repo/src/fft1d/real.cpp" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/real.cpp.o" "gcc" "src/fft1d/CMakeFiles/bwfft_fft1d.dir/real.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/bwfft_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_fft1d.dir/fft1d.cpp.o"
+  "CMakeFiles/bwfft_fft1d.dir/fft1d.cpp.o.d"
+  "CMakeFiles/bwfft_fft1d.dir/fft1d_split.cpp.o"
+  "CMakeFiles/bwfft_fft1d.dir/fft1d_split.cpp.o.d"
+  "CMakeFiles/bwfft_fft1d.dir/mixed_radix.cpp.o"
+  "CMakeFiles/bwfft_fft1d.dir/mixed_radix.cpp.o.d"
+  "CMakeFiles/bwfft_fft1d.dir/real.cpp.o"
+  "CMakeFiles/bwfft_fft1d.dir/real.cpp.o.d"
+  "libbwfft_fft1d.a"
+  "libbwfft_fft1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_fft1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/codelets.cpp" "src/kernels/CMakeFiles/bwfft_kernels.dir/codelets.cpp.o" "gcc" "src/kernels/CMakeFiles/bwfft_kernels.dir/codelets.cpp.o.d"
+  "/root/repo/src/kernels/twiddle.cpp" "src/kernels/CMakeFiles/bwfft_kernels.dir/twiddle.cpp.o" "gcc" "src/kernels/CMakeFiles/bwfft_kernels.dir/twiddle.cpp.o.d"
+  "/root/repo/src/kernels/vecops.cpp" "src/kernels/CMakeFiles/bwfft_kernels.dir/vecops.cpp.o" "gcc" "src/kernels/CMakeFiles/bwfft_kernels.dir/vecops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_kernels.dir/codelets.cpp.o"
+  "CMakeFiles/bwfft_kernels.dir/codelets.cpp.o.d"
+  "CMakeFiles/bwfft_kernels.dir/twiddle.cpp.o"
+  "CMakeFiles/bwfft_kernels.dir/twiddle.cpp.o.d"
+  "CMakeFiles/bwfft_kernels.dir/vecops.cpp.o"
+  "CMakeFiles/bwfft_kernels.dir/vecops.cpp.o.d"
+  "libbwfft_kernels.a"
+  "libbwfft_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

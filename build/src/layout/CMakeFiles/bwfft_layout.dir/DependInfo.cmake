@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/format.cpp" "src/layout/CMakeFiles/bwfft_layout.dir/format.cpp.o" "gcc" "src/layout/CMakeFiles/bwfft_layout.dir/format.cpp.o.d"
+  "/root/repo/src/layout/rotate.cpp" "src/layout/CMakeFiles/bwfft_layout.dir/rotate.cpp.o" "gcc" "src/layout/CMakeFiles/bwfft_layout.dir/rotate.cpp.o.d"
+  "/root/repo/src/layout/stream_copy.cpp" "src/layout/CMakeFiles/bwfft_layout.dir/stream_copy.cpp.o" "gcc" "src/layout/CMakeFiles/bwfft_layout.dir/stream_copy.cpp.o.d"
+  "/root/repo/src/layout/transpose.cpp" "src/layout/CMakeFiles/bwfft_layout.dir/transpose.cpp.o" "gcc" "src/layout/CMakeFiles/bwfft_layout.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

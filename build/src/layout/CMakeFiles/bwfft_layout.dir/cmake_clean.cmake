@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_layout.dir/format.cpp.o"
+  "CMakeFiles/bwfft_layout.dir/format.cpp.o.d"
+  "CMakeFiles/bwfft_layout.dir/rotate.cpp.o"
+  "CMakeFiles/bwfft_layout.dir/rotate.cpp.o.d"
+  "CMakeFiles/bwfft_layout.dir/stream_copy.cpp.o"
+  "CMakeFiles/bwfft_layout.dir/stream_copy.cpp.o.d"
+  "CMakeFiles/bwfft_layout.dir/transpose.cpp.o"
+  "CMakeFiles/bwfft_layout.dir/transpose.cpp.o.d"
+  "libbwfft_layout.a"
+  "libbwfft_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

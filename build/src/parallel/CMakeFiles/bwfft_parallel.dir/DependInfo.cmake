@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/affinity.cpp" "src/parallel/CMakeFiles/bwfft_parallel.dir/affinity.cpp.o" "gcc" "src/parallel/CMakeFiles/bwfft_parallel.dir/affinity.cpp.o.d"
+  "/root/repo/src/parallel/roles.cpp" "src/parallel/CMakeFiles/bwfft_parallel.dir/roles.cpp.o" "gcc" "src/parallel/CMakeFiles/bwfft_parallel.dir/roles.cpp.o.d"
+  "/root/repo/src/parallel/team.cpp" "src/parallel/CMakeFiles/bwfft_parallel.dir/team.cpp.o" "gcc" "src/parallel/CMakeFiles/bwfft_parallel.dir/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_parallel.dir/affinity.cpp.o"
+  "CMakeFiles/bwfft_parallel.dir/affinity.cpp.o.d"
+  "CMakeFiles/bwfft_parallel.dir/roles.cpp.o"
+  "CMakeFiles/bwfft_parallel.dir/roles.cpp.o.d"
+  "CMakeFiles/bwfft_parallel.dir/team.cpp.o"
+  "CMakeFiles/bwfft_parallel.dir/team.cpp.o.d"
+  "libbwfft_parallel.a"
+  "libbwfft_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/bwfft_pipeline.dir/pipeline.cpp.o.d"
+  "libbwfft_pipeline.a"
+  "libbwfft_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwfft_pipeline.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spl/algorithms.cpp" "src/spl/CMakeFiles/bwfft_spl.dir/algorithms.cpp.o" "gcc" "src/spl/CMakeFiles/bwfft_spl.dir/algorithms.cpp.o.d"
+  "/root/repo/src/spl/expr.cpp" "src/spl/CMakeFiles/bwfft_spl.dir/expr.cpp.o" "gcc" "src/spl/CMakeFiles/bwfft_spl.dir/expr.cpp.o.d"
+  "/root/repo/src/spl/lower.cpp" "src/spl/CMakeFiles/bwfft_spl.dir/lower.cpp.o" "gcc" "src/spl/CMakeFiles/bwfft_spl.dir/lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwfft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft1d/CMakeFiles/bwfft_fft1d.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bwfft_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bwfft_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

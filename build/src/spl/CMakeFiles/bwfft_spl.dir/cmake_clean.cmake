@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_spl.dir/algorithms.cpp.o"
+  "CMakeFiles/bwfft_spl.dir/algorithms.cpp.o.d"
+  "CMakeFiles/bwfft_spl.dir/expr.cpp.o"
+  "CMakeFiles/bwfft_spl.dir/expr.cpp.o.d"
+  "CMakeFiles/bwfft_spl.dir/lower.cpp.o"
+  "CMakeFiles/bwfft_spl.dir/lower.cpp.o.d"
+  "libbwfft_spl.a"
+  "libbwfft_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_stream.dir/stream.cpp.o"
+  "CMakeFiles/bwfft_stream.dir/stream.cpp.o.d"
+  "libbwfft_stream.a"
+  "libbwfft_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_buffer_1d_test.dir/double_buffer_1d_test.cpp.o"
+  "CMakeFiles/double_buffer_1d_test.dir/double_buffer_1d_test.cpp.o.d"
+  "double_buffer_1d_test"
+  "double_buffer_1d_test.pdb"
+  "double_buffer_1d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_buffer_1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_socket_test.dir/dual_socket_test.cpp.o"
+  "CMakeFiles/dual_socket_test.dir/dual_socket_test.cpp.o.d"
+  "dual_socket_test"
+  "dual_socket_test.pdb"
+  "dual_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

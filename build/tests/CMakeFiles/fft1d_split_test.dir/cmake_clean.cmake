@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft1d_split_test.dir/fft1d_split_test.cpp.o"
+  "CMakeFiles/fft1d_split_test.dir/fft1d_split_test.cpp.o.d"
+  "fft1d_split_test"
+  "fft1d_split_test.pdb"
+  "fft1d_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft1d_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

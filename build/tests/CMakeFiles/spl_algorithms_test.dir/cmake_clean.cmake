@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_algorithms_test.dir/spl_algorithms_test.cpp.o"
+  "CMakeFiles/spl_algorithms_test.dir/spl_algorithms_test.cpp.o.d"
+  "spl_algorithms_test"
+  "spl_algorithms_test.pdb"
+  "spl_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

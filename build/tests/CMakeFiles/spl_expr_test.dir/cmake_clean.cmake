@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_expr_test.dir/spl_expr_test.cpp.o"
+  "CMakeFiles/spl_expr_test.dir/spl_expr_test.cpp.o.d"
+  "spl_expr_test"
+  "spl_expr_test.pdb"
+  "spl_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

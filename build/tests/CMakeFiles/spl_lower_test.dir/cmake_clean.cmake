@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_lower_test.dir/spl_lower_test.cpp.o"
+  "CMakeFiles/spl_lower_test.dir/spl_lower_test.cpp.o.d"
+  "spl_lower_test"
+  "spl_lower_test.pdb"
+  "spl_lower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_lower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/spl_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/spl_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/fft1d_test[1]_include.cmake")
+include("/root/repo/build/tests/engines_test[1]_include.cmake")
+include("/root/repo/build/tests/dual_socket_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/spl_lower_test[1]_include.cmake")
+include("/root/repo/build/tests/fft1d_split_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/real_fft_test[1]_include.cmake")
+include("/root/repo/build/tests/double_buffer_1d_test[1]_include.cmake")
+include("/root/repo/build/tests/facade_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwfft_cli.dir/bwfft_cli.cpp.o"
+  "CMakeFiles/bwfft_cli.dir/bwfft_cli.cpp.o.d"
+  "bwfft_cli"
+  "bwfft_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwfft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
