@@ -1,0 +1,65 @@
+# Sanitizer wiring for checked builds.
+#
+# Usage:  cmake -B build-asan -DBWFFT_SANITIZE="address;undefined"
+#         cmake -B build-tsan -DBWFFT_SANITIZE=thread
+#
+# BWFFT_SANITIZE is a semicolon- (or comma-) separated subset of
+# {address, undefined, leak, thread}. Combinations are validated: TSan is
+# incompatible with ASan/LSan, so "thread" must appear alone or with
+# "undefined". When any sanitizer is active:
+#
+#   * -fsanitize=... is applied to all compile and link steps, together
+#     with -fno-omit-frame-pointer and -g for usable reports;
+#   * every registered test gains the CTest label "sanitize", so
+#     `ctest -L sanitize` runs the tier-1 suite under the instrumented
+#     binaries;
+#   * BWFFT_CHECKED defaults ON (see top-level CMakeLists.txt) so the
+#     hazard checker / SPL verifier hooks run under the sanitizer too.
+#
+# Runtime suppressions live in suppressions/; tools/check.sh exports the
+# matching ASAN_OPTIONS / UBSAN_OPTIONS / TSAN_OPTIONS automatically.
+
+set(BWFFT_SANITIZE "" CACHE STRING
+    "Sanitizers to build with: subset of address;undefined;leak;thread")
+
+set(BWFFT_SANITIZE_ACTIVE FALSE)
+
+if(BWFFT_SANITIZE)
+  string(REPLACE "," ";" _bwfft_san_list "${BWFFT_SANITIZE}")
+  list(REMOVE_DUPLICATES _bwfft_san_list)
+
+  set(_bwfft_san_known address undefined leak thread)
+  foreach(_s IN LISTS _bwfft_san_list)
+    if(NOT _s IN_LIST _bwfft_san_known)
+      message(FATAL_ERROR
+        "BWFFT_SANITIZE: unknown sanitizer '${_s}' "
+        "(expected a subset of: ${_bwfft_san_known})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _bwfft_san_list)
+    foreach(_bad address leak)
+      if(_bad IN_LIST _bwfft_san_list)
+        message(FATAL_ERROR
+          "BWFFT_SANITIZE: 'thread' cannot be combined with '${_bad}' "
+          "(TSan and ASan/LSan use incompatible shadow memory)")
+      endif()
+    endforeach()
+  endif()
+
+  string(JOIN "," _bwfft_san_joined ${_bwfft_san_list})
+  message(STATUS "bwfft: building with -fsanitize=${_bwfft_san_joined}")
+
+  add_compile_options(-fsanitize=${_bwfft_san_joined} -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${_bwfft_san_joined})
+  if("undefined" IN_LIST _bwfft_san_list)
+    # Abort (and fail the test) on the first UB report instead of printing
+    # and continuing; keeps `ctest -L sanitize` honest.
+    add_compile_options(-fno-sanitize-recover=undefined)
+  endif()
+  if("thread" IN_LIST _bwfft_san_list)
+    add_compile_definitions(BWFFT_TSAN=1)
+  endif()
+
+  set(BWFFT_SANITIZE_ACTIVE TRUE)
+endif()

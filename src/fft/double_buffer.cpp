@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/hazard_checker.h"
 #include "common/error.h"
 #include "common/timer.h"
 #include "layout/rotate.h"
@@ -83,7 +84,23 @@ void DoubleBufferEngine::run_stage(const StageGeometry& g, const Fft1d& fft,
 
   Timer timer;
   if (pipelined) {
-    pipeline_->execute(stage);
+    if (analysis::self_check_enabled()) {
+      // Self-audit (checked builds, or BWFFT_SELF_CHECK=1): record the
+      // schedule and validate the Table II invariants after the stage.
+      analysis::Trace trace;
+      pipeline_->set_trace(&trace);
+      try {
+        pipeline_->execute(stage);
+      } catch (...) {
+        pipeline_->set_trace(nullptr);
+        throw;
+      }
+      pipeline_->set_trace(nullptr);
+      const auto rep = analysis::audit_schedule(trace, stage.iterations, roles_);
+      BWFFT_CHECK(rep.clean(), "pipeline schedule hazard:\n" + rep.str());
+    } else {
+      pipeline_->execute(stage);
+    }
   } else {
     pipeline_->execute_unpipelined(stage);
   }

@@ -5,9 +5,21 @@
 // This barrier spins briefly (the common case: all threads arrive within a
 // pipeline iteration) and then yields, so it also behaves well when the
 // team is oversubscribed on fewer physical cores.
+//
+// Deadlock aid: a stalled barrier (some party never arrives) normally
+// hangs forever with zero diagnostics. When a stall timeout is armed, a
+// waiter that exceeds it throws bwfft::Error naming how many of the
+// expected parties arrived and at which generation — enough to tell a lost
+// thread from a miscounted team. The timeout is armed by default in
+// checked builds (BWFFT_CHECKED, 30 s) and off in release builds; the
+// BWFFT_BARRIER_STALL_MS environment variable overrides either way
+// (0 disables). The deadline is only consulted on the slow (yielding)
+// path, so an armed timeout costs nothing while the barrier is healthy.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -28,7 +40,8 @@ inline void cpu_pause() {
 
 class SpinBarrier {
  public:
-  explicit SpinBarrier(int parties) : parties_(parties) {
+  explicit SpinBarrier(int parties)
+      : parties_(parties), stall_timeout_ms_(default_stall_timeout_ms()) {
     BWFFT_CHECK(parties >= 1, "barrier needs >= 1 party");
   }
 
@@ -36,7 +49,8 @@ class SpinBarrier {
   SpinBarrier& operator=(const SpinBarrier&) = delete;
 
   /// Block until all parties have arrived. Safe for repeated use: a
-  /// generation counter distinguishes consecutive phases.
+  /// generation counter distinguishes consecutive phases. With a stall
+  /// timeout armed, throws bwfft::Error after waiting that long.
   void arrive_and_wait() {
     const unsigned gen = gen_.load(std::memory_order_acquire);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
@@ -44,22 +58,74 @@ class SpinBarrier {
       gen_.fetch_add(1, std::memory_order_release);
       return;
     }
+    const long timeout_ms = stall_timeout_ms_.load(std::memory_order_relaxed);
+    std::chrono::steady_clock::time_point deadline{};
+    if (timeout_ms > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(timeout_ms);
+    }
     int spins = 0;
+    unsigned long yields = 0;
     while (gen_.load(std::memory_order_acquire) == gen) {
       if (++spins < 1024) {
         cpu_pause();
       } else {
         std::this_thread::yield();
+        // Check the clock only every 64 yields — the slow path is already
+        // off the fast spin, but a syscall-per-yield would still hurt an
+        // oversubscribed team.
+        if (timeout_ms > 0 && (++yields & 63u) == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+          report_stall(gen, timeout_ms);
+        }
       }
     }
   }
 
   int parties() const { return parties_; }
 
+  /// Arm (ms > 0) or disarm (ms == 0) the stall timeout for this barrier.
+  void set_stall_timeout_ms(long ms) {
+    stall_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+  long stall_timeout_ms() const {
+    return stall_timeout_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide default: BWFFT_BARRIER_STALL_MS if set (0 disables),
+  /// else 30 s in checked builds and disabled in release builds.
+  static long default_stall_timeout_ms() {
+    static const long ms = [] {
+      if (const char* e = std::getenv("BWFFT_BARRIER_STALL_MS")) {
+        return std::atol(e);
+      }
+#ifdef BWFFT_CHECKED
+      return 30000L;
+#else
+      return 0L;
+#endif
+    }();
+    return ms;
+  }
+
  private:
+  [[noreturn]] void report_stall(unsigned gen, long timeout_ms) const {
+    // count_ is a live value; by the time we throw it can only grow (or be
+    // reset by a release that would also have bumped gen_, ending the
+    // wait), so it faithfully bounds how many parties made it here.
+    const int arrived = count_.load(std::memory_order_acquire);
+    ::bwfft::detail::throw_error(
+        __FILE__, __LINE__,
+        "SpinBarrier stall: only " + std::to_string(arrived) + " of " +
+            std::to_string(parties_) + " parties arrived at generation " +
+            std::to_string(gen) + " after " + std::to_string(timeout_ms) +
+            " ms — a team thread is lost or deadlocked");
+  }
+
   const int parties_;
   std::atomic<int> count_{0};
   std::atomic<unsigned> gen_{0};
+  std::atomic<long> stall_timeout_ms_;
 };
 
 }  // namespace bwfft

@@ -148,6 +148,9 @@ class Gather final : public Expr {
   idx_t cols() const override { return n_; }
   void apply(const cplx* x, cplx* y) const override;
   std::string str() const override;
+  idx_t n() const { return n_; }
+  idx_t window() const { return b_; }
+  idx_t index() const { return i_; }
 
  private:
   idx_t n_, b_, i_;
@@ -162,6 +165,9 @@ class Scatter final : public Expr {
   idx_t cols() const override { return b_; }
   void apply(const cplx* x, cplx* y) const override;
   std::string str() const override;
+  idx_t n() const { return n_; }
+  idx_t window() const { return b_; }
+  idx_t index() const { return i_; }
 
  private:
   idx_t n_, b_, i_;
@@ -210,6 +216,7 @@ class DirectSum final : public Expr {
   idx_t cols() const override { return cols_; }
   void apply(const cplx* x, cplx* y) const override;
   std::string str() const override;
+  const std::vector<ExprPtr>& blocks() const { return blocks_; }
 
  private:
   std::vector<ExprPtr> blocks_;

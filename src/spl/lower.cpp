@@ -4,6 +4,7 @@
 
 #include "fft1d/fft1d.h"
 #include "layout/transpose.h"
+#include "spl/verify.h"
 
 namespace bwfft::spl {
 
@@ -99,6 +100,12 @@ std::string LowerOp::str() const {
 cvec Program::run(const cvec& in) const {
   BWFFT_CHECK(static_cast<idx_t>(in.size()) == length_,
               "program input length mismatch");
+#ifdef BWFFT_CHECKED
+  // Checked builds re-verify element-count conservation before executing:
+  // hand-assembled or rewritten programs throw here instead of silently
+  // reading/writing out of step with the vector.
+  verify_or_throw(*this);
+#endif
   cvec cur = in;
   cvec scratch(in.size());
   for (const LowerOp& op : ops_) {
@@ -137,8 +144,16 @@ std::string Program::describe() const {
 Program lower(const Expr& e) {
   BWFFT_CHECK(e.rows() == e.cols(),
               "only square (size-preserving) terms are lowerable");
+#ifdef BWFFT_CHECKED
+  // Checked builds statically verify the term (dimension chains,
+  // permutations, windows, diagonals) before compiling it to a plan.
+  verify_or_throw(e);
+#endif
   Program prog(e.cols());
   lower_into(e, 1, 1, prog);
+#ifdef BWFFT_CHECKED
+  verify_or_throw(prog);
+#endif
   return prog;
 }
 

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <thread>
 
 #include "common/rng.h"
 #include "parallel/numa.h"
@@ -29,6 +32,77 @@ TEST(Barrier, PhasesStayInLockstep) {
   });
   EXPECT_FALSE(violation.load());
   EXPECT_EQ(threads * phases, counter.load());
+}
+
+// Reuse across many generations with an uneven arrival pattern: odd
+// threads burn time before arriving, so the generation counter is
+// exercised with stragglers in every phase.
+TEST(Barrier, ReuseAcrossGenerationsWithStragglers) {
+  const int threads = 4, generations = 500;
+  ThreadTeam team(threads);
+  std::vector<int> per_gen(generations, 0);
+  std::mutex mu;
+  team.run([&](int tid) {
+    for (int g = 0; g < generations; ++g) {
+      if (tid % 2 == 1) {
+        for (volatile int spin = 0; spin < 50 * (g % 7); ++spin) {
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        per_gen[static_cast<std::size_t>(g)]++;
+      }
+      team.barrier().arrive_and_wait();
+      // A generation may only be entered once the previous one fully
+      // drained: after the barrier, this generation's count is complete.
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (per_gen[static_cast<std::size_t>(g)] != threads) {
+          ADD_FAILURE() << "generation " << g << " saw "
+                        << per_gen[static_cast<std::size_t>(g)] << " arrivals";
+        }
+      }
+      team.barrier().arrive_and_wait();
+    }
+  });
+  for (int g = 0; g < generations; ++g) EXPECT_EQ(threads, per_gen[g]);
+}
+
+// Deadlock aid: a party that never arrives makes the waiters throw a
+// diagnostic naming the missing party count instead of hanging forever.
+TEST(Barrier, StallTimeoutReportsMissingParties) {
+  SpinBarrier barrier(3);
+  barrier.set_stall_timeout_ms(100);
+  EXPECT_EQ(100, barrier.stall_timeout_ms());
+  // A second party arrives; the third never does, so both waiters throw.
+  std::thread t([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const Error&) {  // its own stall report
+    }
+  });
+  try {
+    barrier.arrive_and_wait();
+    t.join();
+    FAIL() << "expected the barrier to report a stall";
+  } catch (const Error& e) {
+    t.join();
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("SpinBarrier stall"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("of 3 parties"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("generation 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(Barrier, StallTimeoutDisarmedAllowsLateArrival) {
+  SpinBarrier barrier(2);
+  barrier.set_stall_timeout_ms(0);  // explicit off, any build type
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    barrier.arrive_and_wait();
+  });
+  barrier.arrive_and_wait();  // must simply wait the 50 ms out
+  late.join();
 }
 
 TEST(Team, RunExecutesEveryThreadExactlyOnce) {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# tools/check.sh — build and run the tier-1 suite under sanitizers.
+#
+#   ./tools/check.sh            # ASan+UBSan, then TSan
+#   ./tools/check.sh asan       # just ASan+UBSan
+#   ./tools/check.sh tsan       # just TSan
+#
+# Each configuration gets its own build tree (build-asan/, build-tsan/) so
+# the trees can be rebuilt incrementally; suppressions/ files are exported
+# through the sanitizer runtime options. Any sanitizer report fails the
+# corresponding ctest run (halt_on_error / abort_on_error), so a zero exit
+# status here means the whole suite ran report-free under both runtimes.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+if [[ $# -eq 0 ]]; then
+  CONFIGS=(asan tsan)
+else
+  CONFIGS=("$@")
+fi
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local build="$ROOT/build-$name"
+  echo "=== [$name] configure: -DBWFFT_SANITIZE=$sanitize ==="
+  cmake -B "$build" -S "$ROOT" -DBWFFT_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$build" -j "$JOBS"
+  echo "=== [$name] ctest -L sanitize ==="
+  (
+    cd "$build"
+    export ASAN_OPTIONS="abort_on_error=1:detect_stack_use_after_return=1"
+    export LSAN_OPTIONS="suppressions=$ROOT/suppressions/asan.supp"
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$ROOT/suppressions/ubsan.supp"
+    export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/suppressions/tsan.supp"
+    ctest -L sanitize --output-on-failure -j "$JOBS"
+  )
+  echo "=== [$name] clean ==="
+}
+
+for cfg in "${CONFIGS[@]}"; do
+  case "$cfg" in
+    asan) run_config asan "address;undefined" ;;
+    tsan) run_config tsan "thread" ;;
+    *) echo "unknown config '$cfg' (expected: asan, tsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "all sanitizer configurations clean"
