@@ -1,0 +1,143 @@
+#include "benchutil/args.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace bwfft::cli {
+
+bool parse_int(const std::string& token, long long min_value, long long* out,
+               std::string* err) {
+  if (token.empty()) {
+    if (err) *err = "empty numeric value";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) {
+    if (err) *err = "'" + token + "' is not a valid integer";
+    return false;
+  }
+  if (v < min_value) {
+    if (err) {
+      *err = "'" + token + "' is out of range (must be >= " +
+             std::to_string(min_value) + ")";
+    }
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_dims(const std::string& token, std::vector<idx_t>* out,
+                std::string* err) {
+  std::vector<idx_t> dims;
+  std::size_t pos = 0;
+  while (pos <= token.size()) {
+    std::size_t next = token.find('x', pos);
+    if (next == std::string::npos) next = token.size();
+    long long v = 0;
+    if (!parse_int(token.substr(pos, next - pos), 1, &v, err)) {
+      if (err) *err = "bad --dims '" + token + "': " + *err;
+      return false;
+    }
+    dims.push_back(static_cast<idx_t>(v));
+    pos = next + 1;
+  }
+  if (dims.size() != 2 && dims.size() != 3) {
+    if (err) {
+      *err = "bad --dims '" + token + "': expected 2 or 3 'x'-separated " +
+             "dimensions, got " + std::to_string(dims.size());
+    }
+    return false;
+  }
+  *out = std::move(dims);
+  return true;
+}
+
+bool valid_engine(const std::string& name) {
+  return name == "dbuf" || name == "double-buffer" || name == "stagepar" ||
+         name == "stage-parallel" || name == "slab" || name == "slab-pencil" ||
+         name == "pencil" || name == "reference";
+}
+
+bool parse_args(const std::vector<std::string>& args, Options* out,
+                std::string* err) {
+  Options o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](std::string* value) {
+      if (i + 1 >= args.size()) {
+        if (err) *err = arg + " requires a value";
+        return false;
+      }
+      *value = args[++i];
+      return true;
+    };
+    auto next_int = [&](long long min_value, long long* value) {
+      std::string token;
+      if (!next(&token)) return false;
+      if (!parse_int(token, min_value, value, err)) {
+        if (err) *err = "bad " + arg + ": " + *err;
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--dims") {
+      std::string token;
+      if (!next(&token)) return false;
+      if (!parse_dims(token, &o.dims, err)) return false;
+    } else if (arg == "--engine") {
+      std::string token;
+      if (!next(&token)) return false;
+      if (!valid_engine(token)) {
+        if (err) *err = "unknown engine '" + token + "'";
+        return false;
+      }
+      o.engine = token;
+    } else if (arg == "--threads") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.threads = static_cast<int>(v);
+    } else if (arg == "--compute") {
+      long long v = 0;
+      if (!next_int(0, &v)) return false;
+      o.compute = static_cast<int>(v);
+    } else if (arg == "--block") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.block = static_cast<idx_t>(v);
+    } else if (arg == "--mu") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.mu = static_cast<idx_t>(v);
+    } else if (arg == "--reps") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.reps = static_cast<int>(v);
+    } else if (arg == "--inverse") {
+      o.inverse = true;
+    } else if (arg == "--verify") {
+      o.verify = true;
+    } else if (arg == "--no-nt") {
+      o.nontemporal = false;
+    } else if (arg == "--stats") {
+      o.stats = true;
+    } else if (arg == "--trace") {
+      std::string token;
+      if (!next(&token)) return false;
+      if (token.empty()) {
+        if (err) *err = "--trace requires a non-empty path";
+        return false;
+      }
+      o.trace_path = token;
+    } else {
+      if (err) *err = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  *out = std::move(o);
+  return true;
+}
+
+}  // namespace bwfft::cli

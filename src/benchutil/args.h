@@ -1,0 +1,55 @@
+// Strict command-line parsing for bwfft_cli, refactored out of the tool
+// so tests can drive it directly.
+//
+// The previous in-tool parser used std::atoll with no validation, so
+// `--dims 0x0`, `--dims x128` or `--dims 12ax34` silently produced 0 or
+// garbage dimensions and crashed (or divided by zero) deep inside plan
+// construction. Every numeric token here must consume its whole string
+// and land in an explicit validity range or the parse fails with a
+// message naming the offending flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bwfft::cli {
+
+/// Parsed bwfft_cli options. Engine stays a (validated) string so this
+/// header does not depend on the fft layer.
+struct Options {
+  std::vector<idx_t> dims{128, 128, 128};
+  std::string engine = "dbuf";
+  int threads = 0;    ///< 0 = topology default
+  int compute = -1;   ///< -1 = even split
+  idx_t block = 0;    ///< 0 = LLC/2 policy
+  idx_t mu = 0;       ///< 0 = auto packet size
+  int reps = 3;
+  bool inverse = false;
+  bool verify = false;
+  bool nontemporal = true;
+  bool stats = false;
+  std::string trace_path;  ///< empty = no chrome-trace export
+};
+
+/// Strict base-10 integer: the whole token must parse and the value must
+/// be >= min_value (overflow is rejected). Returns false with a
+/// diagnostic in *err.
+bool parse_int(const std::string& token, long long min_value, long long* out,
+               std::string* err);
+
+/// Strict "KxN" / "KxNxM" dims parser: 2 or 3 'x'-separated tokens, each
+/// a positive integer.
+bool parse_dims(const std::string& token, std::vector<idx_t>* out,
+                std::string* err);
+
+/// Accepted --engine spellings.
+bool valid_engine(const std::string& name);
+
+/// Parse the full argument vector (argv[1..argc)). On failure returns
+/// false with a usage-ready message in *err; *out is unspecified.
+bool parse_args(const std::vector<std::string>& args, Options* out,
+                std::string* err);
+
+}  // namespace bwfft::cli

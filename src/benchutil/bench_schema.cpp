@@ -1,0 +1,178 @@
+#include "benchutil/bench_schema.h"
+
+namespace bwfft {
+
+Json bench_report_to_json(const BenchReport& report) {
+  Json doc = Json::object();
+  doc.set("schema", kBenchSchemaName);
+  doc.set("label", report.label);
+  doc.set("stream_gbs", report.stream_gbs);
+  Json results = Json::array();
+  for (const BenchRow& row : report.rows) {
+    Json r = Json::object();
+    r.set("engine", row.engine);
+    Json dims = Json::array();
+    for (idx_t d : row.dims) dims.push_back(static_cast<std::int64_t>(d));
+    r.set("dims", std::move(dims));
+    r.set("best_seconds", row.best_seconds);
+    r.set("pseudo_gflops", row.pseudo_gflops);
+    r.set("pct_of_peak", row.pct_of_peak);
+    Json counters = Json::object();
+    for (const auto& [name, value] : row.counters) counters.set(name, value);
+    r.set("counters", std::move(counters));
+    Json stages = Json::array();
+    for (const BenchStage& s : row.stages) {
+      Json stage = Json::object();
+      stage.set("name", s.name);
+      stage.set("seconds", s.seconds);
+      stage.set("pct_of_peak", s.pct_of_peak);
+      stages.push_back(std::move(stage));
+    }
+    r.set("stages", std::move(stages));
+    results.push_back(std::move(r));
+  }
+  doc.set("results", std::move(results));
+  return doc;
+}
+
+namespace {
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err) *err = msg;
+  return false;
+}
+
+bool require_number(const Json& obj, const char* key, std::string* err,
+                    bool positive = false) {
+  const Json* v = obj.find(key);
+  if (!v || !v->is_number()) {
+    return fail(err, std::string("missing or non-numeric '") + key + "'");
+  }
+  if (positive && v->as_double() <= 0.0) {
+    return fail(err, std::string("'") + key + "' must be > 0");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_bench_report(const Json& doc, std::string* err) {
+  if (!doc.is_object()) return fail(err, "document is not an object");
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != kBenchSchemaName) {
+    return fail(err, std::string("schema must be \"") + kBenchSchemaName +
+                         "\"");
+  }
+  const Json* label = doc.find("label");
+  if (!label || !label->is_string() || label->as_string().empty()) {
+    return fail(err, "missing or empty 'label'");
+  }
+  if (!require_number(doc, "stream_gbs", err, /*positive=*/true)) return false;
+  const Json* results = doc.find("results");
+  if (!results || !results->is_array() || results->size() == 0) {
+    return fail(err, "missing or empty 'results' array");
+  }
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const Json& row = (*results)[i];
+    const std::string where = "results[" + std::to_string(i) + "]: ";
+    std::string e;
+    if (!row.is_object()) return fail(err, where + "not an object");
+    const Json* engine = row.find("engine");
+    if (!engine || !engine->is_string() || engine->as_string().empty()) {
+      return fail(err, where + "missing or empty 'engine'");
+    }
+    const Json* dims = row.find("dims");
+    if (!dims || !dims->is_array() ||
+        (dims->size() != 2 && dims->size() != 3)) {
+      return fail(err, where + "'dims' must be an array of 2 or 3 sizes");
+    }
+    for (std::size_t d = 0; d < dims->size(); ++d) {
+      if (!(*dims)[d].is_number() || (*dims)[d].as_int() < 1) {
+        return fail(err, where + "'dims' entries must be positive integers");
+      }
+    }
+    if (!require_number(row, "best_seconds", &e, /*positive=*/true) ||
+        !require_number(row, "pseudo_gflops", &e, /*positive=*/true) ||
+        !require_number(row, "pct_of_peak", &e)) {
+      return fail(err, where + e);
+    }
+    const Json* counters = row.find("counters");
+    if (!counters || !counters->is_object()) {
+      return fail(err, where + "missing 'counters' object");
+    }
+    for (const auto& [name, value] : counters->members()) {
+      if (!value.is_number() || value.as_double() < 0) {
+        return fail(err, where + "counter '" + name + "' must be >= 0");
+      }
+    }
+    const Json* stages = row.find("stages");
+    if (!stages || !stages->is_array()) {
+      return fail(err, where + "missing 'stages' array");
+    }
+    for (std::size_t s = 0; s < stages->size(); ++s) {
+      const Json& stage = (*stages)[s];
+      const Json* name = stage.find("name");
+      if (!stage.is_object() || !name || !name->is_string()) {
+        return fail(err, where + "stage entries need a string 'name'");
+      }
+      if (!require_number(stage, "seconds", &e, /*positive=*/true) ||
+          !require_number(stage, "pct_of_peak", &e)) {
+        return fail(err, where + "stage '" + name->as_string() + "': " + e);
+      }
+    }
+  }
+  if (err) err->clear();
+  return true;
+}
+
+BenchReport bench_report_from_json(const Json& doc) {
+  BenchReport report;
+  if (const Json* label = doc.find("label")) report.label = label->as_string();
+  if (const Json* bw = doc.find("stream_gbs")) {
+    report.stream_gbs = bw->as_double();
+  }
+  const Json* results = doc.find("results");
+  if (!results) return report;
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const Json& r = (*results)[i];
+    BenchRow row;
+    if (const Json* v = r.find("engine")) row.engine = v->as_string();
+    if (const Json* v = r.find("dims")) {
+      for (std::size_t d = 0; d < v->size(); ++d) {
+        row.dims.push_back(static_cast<idx_t>((*v)[d].as_int()));
+      }
+    }
+    if (const Json* v = r.find("best_seconds")) {
+      row.best_seconds = v->as_double();
+    }
+    if (const Json* v = r.find("pseudo_gflops")) {
+      row.pseudo_gflops = v->as_double();
+    }
+    if (const Json* v = r.find("pct_of_peak")) row.pct_of_peak = v->as_double();
+    if (const Json* v = r.find("counters")) {
+      for (const auto& [name, value] : v->members()) {
+        row.counters.emplace_back(
+            name, static_cast<std::uint64_t>(value.as_int()));
+      }
+    }
+    if (const Json* v = r.find("stages")) {
+      for (std::size_t s = 0; s < v->size(); ++s) {
+        const Json& stage = (*v)[s];
+        BenchStage bs;
+        if (const Json* n = stage.find("name")) bs.name = n->as_string();
+        if (const Json* sec = stage.find("seconds")) {
+          bs.seconds = sec->as_double();
+        }
+        if (const Json* pct = stage.find("pct_of_peak")) {
+          bs.pct_of_peak = pct->as_double();
+        }
+        row.stages.push_back(std::move(bs));
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace bwfft

@@ -1,0 +1,70 @@
+// The BENCH_*.json schema — the machine-readable perf trajectory every
+// PR appends to.
+//
+// Top level:
+//   {
+//     "schema": "bwfft-bench-v1",
+//     "label": "PR2",                     // trajectory point
+//     "stream_gbs": <measured STREAM bandwidth>,
+//     "results": [ <row>... ]
+//   }
+// Row:
+//   {
+//     "engine": "double-buffer",
+//     "dims": [128, 128, 128],
+//     "best_seconds": 0.0123,
+//     "pseudo_gflops": 45.6,              // 5 N log2 N / best_seconds
+//     "pct_of_peak": 78.9,                // vs STREAM achievable peak
+//     "counters": {"bytes_loaded": ..., ...},   // obs counters, one run
+//     "stages": [{"name": ..., "seconds": ..., "pct_of_peak": ...}, ...]
+//   }
+//
+// build/validate live here (not in the bench binary) so tests and
+// tools/bench_report share one definition of "valid".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchutil/json.h"
+#include "common/types.h"
+
+namespace bwfft {
+
+inline constexpr const char* kBenchSchemaName = "bwfft-bench-v1";
+
+struct BenchStage {
+  std::string name;
+  double seconds = 0.0;
+  double pct_of_peak = 0.0;
+};
+
+struct BenchRow {
+  std::string engine;
+  std::vector<idx_t> dims;
+  double best_seconds = 0.0;
+  double pseudo_gflops = 0.0;
+  double pct_of_peak = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<BenchStage> stages;
+};
+
+struct BenchReport {
+  std::string label;
+  double stream_gbs = 0.0;
+  std::vector<BenchRow> rows;
+};
+
+/// Serialize a report to the schema above.
+Json bench_report_to_json(const BenchReport& report);
+
+/// Validate a parsed document against the schema; false with a
+/// diagnostic in *err on the first violation.
+bool validate_bench_report(const Json& doc, std::string* err);
+
+/// Decode a validated document (call validate_bench_report first).
+BenchReport bench_report_from_json(const Json& doc);
+
+}  // namespace bwfft

@@ -1,0 +1,346 @@
+#include "benchutil/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bwfft {
+
+void Json::set(const std::string& key, Json v) {
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Number: {
+      char buf[40];
+      if (is_int_) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+      } else if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+      }
+      out += buf;
+      break;
+    }
+    case Type::String:
+      append_escaped(out, str_);
+      break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& msg) {
+    if (err.empty()) err = msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const char* q = lit;
+    const char* save = p;
+    while (*q) {
+      if (p >= end || *p != *q) {
+        p = save;
+        return fail(std::string("expected '") + lit + "'");
+      }
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) return fail("truncated escape");
+        switch (*p++) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end - p < 4) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad hex digit in \\u escape");
+            }
+            // Minimal UTF-8 encoding (no surrogate-pair handling; the
+            // bench schema is ASCII).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Json* out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        ++p;
+        *out = Json::object();
+        skip_ws();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return fail("expected ':'");
+          ++p;
+          Json v;
+          if (!parse_value(&v)) return false;
+          out->set(key, std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p;
+        *out = Json::array();
+        skip_ws();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          Json v;
+          if (!parse_value(&v)) return false;
+          out->push_back(std::move(v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = Json(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = Json(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = Json();
+        return true;
+      default: {
+        // Number: validate the JSON grammar shape, convert with strtod.
+        const char* start = p;
+        if (p < end && *p == '-') ++p;
+        if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+          return fail("invalid number");
+        }
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+        bool integral = true;
+        if (p < end && *p == '.') {
+          integral = false;
+          ++p;
+          if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+            return fail("invalid fraction");
+          }
+          while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+          integral = false;
+          ++p;
+          if (p < end && (*p == '+' || *p == '-')) ++p;
+          if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+            return fail("invalid exponent");
+          }
+          while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+        }
+        const std::string token(start, p);
+        if (integral) {
+          *out = Json(static_cast<std::int64_t>(
+              std::strtoll(token.c_str(), nullptr, 10)));
+        } else {
+          *out = Json(std::strtod(token.c_str(), nullptr));
+        }
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text, std::string* err) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  Json out;
+  bool ok = parser.parse_value(&out);
+  if (ok) {
+    parser.skip_ws();
+    if (parser.p != parser.end) {
+      ok = parser.fail("trailing characters after document");
+    }
+  }
+  if (!ok) {
+    if (err) *err = parser.err;
+    return Json();
+  }
+  if (err) err->clear();
+  return out;
+}
+
+bool Json::valid(const std::string& text, std::string* err) {
+  std::string e;
+  Json v = parse(text, &e);
+  if (err) *err = e;
+  return e.empty();
+}
+
+}  // namespace bwfft

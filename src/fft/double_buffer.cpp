@@ -7,8 +7,14 @@
 #include "common/timer.h"
 #include "layout/rotate.h"
 #include "layout/stream_copy.h"
+#include "obs/obs.h"
 
 namespace bwfft {
+
+namespace {
+[[maybe_unused]] constexpr const char* kStageNames[3] = {"stage-0", "stage-1",
+                                                         "stage-2"};
+}  // namespace
 
 DoubleBufferEngine::DoubleBufferEngine(std::vector<idx_t> dims, Direction dir,
                                        const FftOptions& opts)
@@ -65,6 +71,7 @@ void DoubleBufferEngine::run_stage(const StageGeometry& g, const Fft1d& fft,
                   src + (i * block_rows + r0) * row_elems,
                   static_cast<std::size_t>((r1 - r0) * row_elems) *
                       sizeof(cplx));
+      BWFFT_OBS_COUNT(BytesLoaded, (r1 - r0) * row_elems * sizeof(cplx));
     }
   };
   // Compute kernel: I_{rows} (x) DFT_L (x) I_lanes, in place on the half.
@@ -79,10 +86,12 @@ void DoubleBufferEngine::run_stage(const StageGeometry& g, const Fft1d& fft,
     if (r1 > r0) {
       rotate_store_rows(buf + r0 * row_elems, dst, i * block_rows + r0,
                         r1 - r0, g.a, g.b, g.cp(), g.mu, nt);
+      BWFFT_OBS_COUNT(BytesStored, (r1 - r0) * row_elems * sizeof(cplx));
     }
   };
 
   Timer timer;
+  BWFFT_OBS_SCOPE(obs_stage, kStageNames[stats_.size() % 3], 'G', g.rows());
   if (pipelined) {
     if (analysis::self_check_enabled()) {
       // Self-audit (checked builds, or BWFFT_SELF_CHECK=1): record the

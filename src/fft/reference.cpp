@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "kernels/twiddle.h"
+#include "obs/obs.h"
 
 namespace bwfft {
 
@@ -32,6 +33,7 @@ void dense_dft_axis(const cplx* in, cplx* out, idx_t outer, idx_t n,
 
 void reference_dft_1d(const cplx* in, cplx* out, idx_t n, Direction dir) {
   BWFFT_CHECK(in != out, "reference DFT is out of place");
+  BWFFT_OBS_SCOPE(obs_stage, "dense-x", 'G', n);
   dense_dft_axis(in, out, 1, n, 1, dir);
 }
 
@@ -39,8 +41,14 @@ void reference_dft_2d(const cplx* in, cplx* out, idx_t n, idx_t m,
                       Direction dir) {
   BWFFT_CHECK(in != out, "reference DFT is out of place");
   cvec tmp(static_cast<std::size_t>(n * m));
-  dense_dft_axis(in, tmp.data(), n, m, 1, dir);    // rows (x)
-  dense_dft_axis(tmp.data(), out, 1, n, m, dir);   // columns (y)
+  {
+    BWFFT_OBS_SCOPE(obs_stage, "dense-x", 'G', n);
+    dense_dft_axis(in, tmp.data(), n, m, 1, dir);  // rows (x)
+  }
+  {
+    BWFFT_OBS_SCOPE(obs_stage, "dense-y", 'G', m);
+    dense_dft_axis(tmp.data(), out, 1, n, m, dir);  // columns (y)
+  }
 }
 
 void reference_dft_3d(const cplx* in, cplx* out, idx_t k, idx_t n, idx_t m,
@@ -48,9 +56,18 @@ void reference_dft_3d(const cplx* in, cplx* out, idx_t k, idx_t n, idx_t m,
   BWFFT_CHECK(in != out, "reference DFT is out of place");
   cvec t1(static_cast<std::size_t>(k * n * m));
   cvec t2(static_cast<std::size_t>(k * n * m));
-  dense_dft_axis(in, t1.data(), k * n, m, 1, dir);   // x
-  dense_dft_axis(t1.data(), t2.data(), k, n, m, dir);  // y
-  dense_dft_axis(t2.data(), out, 1, k, n * m, dir);  // z
+  {
+    BWFFT_OBS_SCOPE(obs_stage, "dense-x", 'G', m);
+    dense_dft_axis(in, t1.data(), k * n, m, 1, dir);  // x
+  }
+  {
+    BWFFT_OBS_SCOPE(obs_stage, "dense-y", 'G', n);
+    dense_dft_axis(t1.data(), t2.data(), k, n, m, dir);  // y
+  }
+  {
+    BWFFT_OBS_SCOPE(obs_stage, "dense-z", 'G', k);
+    dense_dft_axis(t2.data(), out, 1, k, n * m, dir);  // z
+  }
 }
 
 }  // namespace bwfft

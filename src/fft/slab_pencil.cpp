@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "layout/rotate.h"
+#include "obs/obs.h"
 
 namespace bwfft {
 
@@ -29,37 +30,52 @@ void SlabPencilEngine::execute(cplx* in, cplx* out) {
   const idx_t k = dims_[0], n = dims_[1], m = dims_[2];
   const idx_t slab = n * m;
 
+  [[maybe_unused]] const std::uint64_t vol_bytes =
+      static_cast<std::uint64_t>(total_) * sizeof(cplx);
+
   // Phase 1: 2D FFT per z-slab. Stage A transforms rows and rotates into
   // the per-thread scratch; stage B transforms the rotated pencils and
   // rotates back into the output slab in natural order.
-  parallel_for_chunks(*team_, k, [&](int tid, idx_t zb, idx_t ze) {
-    cplx* work = slab_work_[static_cast<std::size_t>(tid)].data();
-    const auto& g0 = slab_stages_[0];
-    const auto& g1 = slab_stages_[1];
-    for (idx_t z = zb; z < ze; ++z) {
-      cplx* src = in + z * slab;
-      cplx* dst = out + z * slab;
-      for (idx_t r = 0; r < g0.rows(); ++r) {
-        cplx* row = src + r * g0.row_elems();
-        fft_m_->apply_lanes(row, g0.lanes, 1);
-        rotate_store_rows(row, work, r, 1, g0.a, g0.b, g0.cp(), g0.mu, false);
+  {
+    BWFFT_OBS_SCOPE(obs_slabs, "slabs-2d", 'G', k);
+    BWFFT_OBS_COUNT(BytesLoaded, vol_bytes);
+    BWFFT_OBS_COUNT(BytesStored, vol_bytes);
+    parallel_for_chunks(*team_, k, [&](int tid, idx_t zb, idx_t ze) {
+      cplx* work = slab_work_[static_cast<std::size_t>(tid)].data();
+      const auto& g0 = slab_stages_[0];
+      const auto& g1 = slab_stages_[1];
+      for (idx_t z = zb; z < ze; ++z) {
+        cplx* src = in + z * slab;
+        cplx* dst = out + z * slab;
+        for (idx_t r = 0; r < g0.rows(); ++r) {
+          cplx* row = src + r * g0.row_elems();
+          fft_m_->apply_lanes(row, g0.lanes, 1);
+          rotate_store_rows(row, work, r, 1, g0.a, g0.b, g0.cp(), g0.mu,
+                            false);
+        }
+        for (idx_t r = 0; r < g1.rows(); ++r) {
+          cplx* row = work + r * g1.row_elems();
+          fft_n_->apply_lanes(row, g1.lanes, 1);
+          rotate_store_rows(row, dst, r, 1, g1.a, g1.b, g1.cp(), g1.mu,
+                            false);
+        }
       }
-      for (idx_t r = 0; r < g1.rows(); ++r) {
-        cplx* row = work + r * g1.row_elems();
-        fft_n_->apply_lanes(row, g1.lanes, 1);
-        rotate_store_rows(row, dst, r, 1, g1.a, g1.b, g1.cp(), g1.mu, false);
-      }
-    }
-  });
+    });
+  }
 
   // Phase 2: z pencils at stride n*m, buffered through scratch in
   // mu-lane groups.
-  const idx_t mu = packet_size_for(m);
-  parallel_for_chunks(*team_, slab / mu, [&](int, idx_t b, idx_t e) {
-    for (idx_t t = b; t < e; ++t) {
-      fft_k_->apply_lanes_strided(out + t * mu, mu, slab);
-    }
-  });
+  {
+    BWFFT_OBS_SCOPE(obs_pencils, "z-pencils", 'G', slab);
+    BWFFT_OBS_COUNT(BytesLoaded, vol_bytes);
+    BWFFT_OBS_COUNT(BytesStored, vol_bytes);
+    const idx_t mu = packet_size_for(m);
+    parallel_for_chunks(*team_, slab / mu, [&](int, idx_t b, idx_t e) {
+      for (idx_t t = b; t < e; ++t) {
+        fft_k_->apply_lanes_strided(out + t * mu, mu, slab);
+      }
+    });
+  }
 
   if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
     const double s = 1.0 / static_cast<double>(total_);

@@ -2,8 +2,14 @@
 
 #include "common/error.h"
 #include "layout/rotate.h"
+#include "obs/obs.h"
 
 namespace bwfft {
+
+namespace {
+[[maybe_unused]] constexpr const char* kStageNames[3] = {"stage-0", "stage-1",
+                                                         "stage-2"};
+}  // namespace
 
 StageParallelEngine::StageParallelEngine(std::vector<idx_t> dims,
                                          Direction dir,
@@ -29,9 +35,13 @@ StageParallelEngine::StageParallelEngine(std::vector<idx_t> dims,
   team_ = std::make_unique<ThreadTeam>(p);
 }
 
-void StageParallelEngine::run_stage(const StageGeometry& g, const Fft1d& fft,
+void StageParallelEngine::run_stage([[maybe_unused]] int stage_idx,
+                                    const StageGeometry& g, const Fft1d& fft,
                                     cplx* src, cplx* dst) {
   const idx_t row_elems = g.row_elems();
+  BWFFT_OBS_SCOPE(obs_stage, kStageNames[stage_idx % 3], 'G', g.rows());
+  BWFFT_OBS_COUNT(BytesLoaded, g.rows() * row_elems * sizeof(cplx));
+  BWFFT_OBS_COUNT(BytesStored, g.rows() * row_elems * sizeof(cplx));
   parallel_for_chunks(*team_, g.rows(), [&](int, idx_t b, idx_t e) {
     for (idx_t r = b; r < e; ++r) {
       cplx* row = src + r * row_elems;
@@ -47,12 +57,12 @@ void StageParallelEngine::run_stage(const StageGeometry& g, const Fft1d& fft,
 void StageParallelEngine::execute(cplx* in, cplx* out) {
   BWFFT_CHECK(in != out, "engines are out of place");
   if (dims_.size() == 2) {
-    run_stage(stages_[0], *ffts_[0], in, work_.data());
-    run_stage(stages_[1], *ffts_[1], work_.data(), out);
+    run_stage(0, stages_[0], *ffts_[0], in, work_.data());
+    run_stage(1, stages_[1], *ffts_[1], work_.data(), out);
   } else {
-    run_stage(stages_[0], *ffts_[0], in, out);
-    run_stage(stages_[1], *ffts_[1], out, in);
-    run_stage(stages_[2], *ffts_[2], in, out);
+    run_stage(0, stages_[0], *ffts_[0], in, out);
+    run_stage(1, stages_[1], *ffts_[1], out, in);
+    run_stage(2, stages_[2], *ffts_[2], in, out);
   }
   if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
     const double s = 1.0 / static_cast<double>(total_);

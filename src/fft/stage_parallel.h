@@ -27,8 +27,8 @@ class StageParallelEngine final : public MdEngine {
   const char* name() const override { return "stage-parallel"; }
 
  private:
-  void run_stage(const StageGeometry& g, const Fft1d& fft, cplx* src,
-                 cplx* dst);
+  void run_stage(int stage_idx, const StageGeometry& g, const Fft1d& fft,
+                 cplx* src, cplx* dst);
 
   std::vector<idx_t> dims_;
   Direction dir_;

@@ -6,6 +6,8 @@
 #include <immintrin.h>
 #endif
 
+#include "obs/obs.h"
+
 namespace bwfft {
 
 namespace {
@@ -26,6 +28,7 @@ void copy_stream(cplx* dst, const cplx* src, idx_t count, bool nontemporal) {
     for (; j + 4 <= doubles; j += 4) {
       _mm256_stream_pd(d + j, _mm256_loadu_pd(s + j));
     }
+    BWFFT_OBS_COUNT(NtStores, j / 4);
     for (; j < doubles; ++j) d[j] = s[j];
     return;
   }
@@ -46,11 +49,21 @@ void stream_fence() {
 
 void fill_stream(cplx* dst, cplx value, idx_t count, bool nontemporal) {
 #if defined(__AVX__)
-  if (nontemporal && aligned32(dst) && count % 2 == 0) {
+  if (nontemporal && aligned32(dst) && count >= 2) {
     const __m256d v = _mm256_set_pd(value.imag(), value.real(), value.imag(),
                                     value.real());
     double* d = reinterpret_cast<double*>(dst);
-    for (idx_t j = 0; j + 4 <= 2 * count; j += 4) _mm256_stream_pd(d + j, v);
+    const idx_t doubles = 2 * count;
+    idx_t j = 0;
+    // Stream the even prefix; an odd count keeps NT for all but the last
+    // element instead of abandoning it for the whole range.
+    for (; j + 4 <= doubles; j += 4) _mm256_stream_pd(d + j, v);
+    BWFFT_OBS_COUNT(NtStores, j / 4);
+    if (j < doubles) dst[count - 1] = value;
+    // NT stores bypass the cache hierarchy through write-combining
+    // buffers: fence before returning so a thread that synchronizes only
+    // via a barrier/lock (no fence of its own) cannot observe stale data.
+    stream_fence();
     return;
   }
 #endif

@@ -26,7 +26,10 @@ void store_packet(cplx* dst, const cplx* src, idx_t mu, bool nontemporal);
 /// pipeline iteration after the W-matrix stores.
 void stream_fence();
 
-/// Fill with streaming stores (used by STREAM-style initialisation).
+/// Fill with streaming stores (used by STREAM-style initialisation). An
+/// odd `count` streams the even prefix and writes the last element
+/// normally. The NT path ends with its own stream_fence(), so the filled
+/// range is visible to any thread after a plain barrier/lock handoff.
 void fill_stream(cplx* dst, cplx value, idx_t count, bool nontemporal);
 
 }  // namespace bwfft

@@ -50,8 +50,11 @@ class SpinBarrier {
 
   /// Block until all parties have arrived. Safe for repeated use: a
   /// generation counter distinguishes consecutive phases. With a stall
-  /// timeout armed, throws bwfft::Error after waiting that long.
+  /// timeout armed, throws bwfft::Error after waiting that long. An
+  /// aborted barrier (see abort()) throws immediately instead of waiting
+  /// for a party that will never arrive.
   void arrive_and_wait() {
+    if (aborted_.load(std::memory_order_acquire)) report_abort();
     const unsigned gen = gen_.load(std::memory_order_acquire);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       count_.store(0, std::memory_order_relaxed);
@@ -67,6 +70,7 @@ class SpinBarrier {
     int spins = 0;
     unsigned long yields = 0;
     while (gen_.load(std::memory_order_acquire) == gen) {
+      if (aborted_.load(std::memory_order_acquire)) report_abort();
       if (++spins < 1024) {
         cpu_pause();
       } else {
@@ -80,6 +84,21 @@ class SpinBarrier {
         }
       }
     }
+  }
+
+  /// Poison the barrier: every current and future waiter throws instead
+  /// of blocking. Used when a team thread dies mid-job — without this,
+  /// release builds (no stall timeout) deadlock at the next barrier,
+  /// waiting for the dead thread. The abort sticks until reset_abort().
+  void abort() { aborted_.store(true, std::memory_order_release); }
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Re-arm an aborted barrier for reuse. Only safe once every thread
+  /// has drained (no waiter inside arrive_and_wait) — ThreadTeam::run
+  /// calls it after all workers finished the failed job.
+  void reset_abort() {
+    count_.store(0, std::memory_order_relaxed);
+    aborted_.store(false, std::memory_order_release);
   }
 
   int parties() const { return parties_; }
@@ -109,6 +128,12 @@ class SpinBarrier {
   }
 
  private:
+  [[noreturn]] void report_abort() const {
+    ::bwfft::detail::throw_error(
+        __FILE__, __LINE__,
+        "SpinBarrier aborted: a team thread failed; draining waiters");
+  }
+
   [[noreturn]] void report_stall(unsigned gen, long timeout_ms) const {
     // count_ is a live value; by the time we throw it can only grow (or be
     // reset by a release that would also have bumped gen_, ending the
@@ -125,6 +150,7 @@ class SpinBarrier {
   const int parties_;
   std::atomic<int> count_{0};
   std::atomic<unsigned> gen_{0};
+  std::atomic<bool> aborted_{false};
   std::atomic<long> stall_timeout_ms_;
 };
 

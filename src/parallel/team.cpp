@@ -43,8 +43,18 @@ void ThreadTeam::worker_loop(int tid, int pin_cpu) {
     try {
       (*job)(tid);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      // Poison the team barrier AFTER recording the error: teammates
+      // blocked at arrive_and_wait drain by throwing the abort diagnosis,
+      // and since they observe the abort only after this thread's error
+      // is recorded, first_error_ keeps the original exception. Without
+      // this, a throwing job left its teammates waiting forever for a
+      // party that would never arrive (release builds have no stall
+      // timeout).
+      barrier_.abort();
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -66,6 +76,10 @@ void ThreadTeam::run(const std::function<void(int)>& f) {
     job_ = nullptr;
     err = first_error_;
   }
+  // All workers are idle again (remaining_ hit 0), so an aborted barrier
+  // can be re-armed for the next run; stragglers may have left a partial
+  // arrival count behind.
+  if (barrier_.aborted()) barrier_.reset_abort();
   if (err) std::rethrow_exception(err);
 }
 

@@ -33,7 +33,9 @@ class ThreadTeam {
 
   /// Execute f(tid) on every worker, tid in [0, size()); blocks the caller
   /// until all workers finish. Exceptions thrown inside f are rethrown on
-  /// the calling thread (first one wins).
+  /// the calling thread (first one wins). A throwing worker aborts the
+  /// team barrier so teammates blocked in arrive_and_wait drain (by
+  /// throwing) instead of deadlocking; the team stays usable afterwards.
   void run(const std::function<void(int)>& f);
 
   /// Team-wide barrier usable inside run() bodies.

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "layout/stream_copy.h"
+#include "obs/obs.h"
 
 namespace bwfft {
 
@@ -15,6 +16,13 @@ DoubleBufferPipeline::DoubleBufferPipeline(ThreadTeam& team, RolePlan roles,
   BWFFT_CHECK(block_elems > 0, "pipeline block must be non-empty");
   BWFFT_CHECK(roles_.total == team.size(),
               "role plan size must match team size");
+}
+
+void DoubleBufferPipeline::wait_at_barrier([[maybe_unused]] idx_t step) {
+  // One slice + BarrierWaitNs per thread per step: the wait time IS the
+  // pipeline's load-imbalance signal (a starved role shows up here).
+  BWFFT_OBS_TASK(obs_wait, "barrier", 'B', step, BarrierWaitNs);
+  team_.barrier().arrive_and_wait();
 }
 
 void DoubleBufferPipeline::record(idx_t step, TraceEvent::Kind kind,
@@ -51,20 +59,29 @@ void DoubleBufferPipeline::execute(const PipelineStage& stage) {
       for (idx_t i = 0; i < iters; ++i) {
         cplx* buf = half(static_cast<int>(i % 2));
         Timer t;
-        stage.load(i, buf, rank, parts);
+        {
+          BWFFT_OBS_TASK(obs_task, "load", 'L', i, LoadBusyNs);
+          stage.load(i, buf, rank, parts);
+        }
         t_load += t.seconds();
         record(i, TraceEvent::Kind::Load, i, static_cast<int>(i % 2), tid);
-        team_.barrier().arrive_and_wait();
+        wait_at_barrier(i);
         t.reset();
-        stage.compute(i, buf, rank, parts);
+        {
+          BWFFT_OBS_TASK(obs_task, "compute", 'C', i, ComputeBusyNs);
+          stage.compute(i, buf, rank, parts);
+        }
         t_comp += t.seconds();
         record(i, TraceEvent::Kind::Compute, i, static_cast<int>(i % 2), tid);
-        team_.barrier().arrive_and_wait();
+        wait_at_barrier(i);
         t.reset();
-        stage.store(i, buf, rank, parts);
+        {
+          BWFFT_OBS_TASK(obs_task, "store", 'S', i, StoreBusyNs);
+          stage.store(i, buf, rank, parts);
+        }
         t_store += t.seconds();
         record(i, TraceEvent::Kind::Store, i, static_cast<int>(i % 2), tid);
-        team_.barrier().arrive_and_wait();
+        wait_at_barrier(i);
       }
       merge_util(t_load, t_comp, t_store);
     });
@@ -85,13 +102,19 @@ void DoubleBufferPipeline::execute(const PipelineStage& stage) {
         const int h = static_cast<int>(step % 2);
         if (step >= 2) {
           Timer t;
-          stage.store(step - 2, half(h), rank, parts);
+          {
+            BWFFT_OBS_TASK(obs_task, "store", 'S', step - 2, StoreBusyNs);
+            stage.store(step - 2, half(h), rank, parts);
+          }
           t_store += t.seconds();
           record(step, TraceEvent::Kind::Store, step - 2, h, tid);
         }
         if (step < iters) {
           Timer t;
-          stage.load(step, half(h), rank, parts);
+          {
+            BWFFT_OBS_TASK(obs_task, "load", 'L', step, LoadBusyNs);
+            stage.load(step, half(h), rank, parts);
+          }
           t_load += t.seconds();
           record(step, TraceEvent::Kind::Load, step, h, tid);
         }
@@ -102,12 +125,15 @@ void DoubleBufferPipeline::execute(const PipelineStage& stage) {
         if (step >= 1 && step <= iters) {
           const int h = static_cast<int>((step + 1) % 2);
           Timer t;
-          stage.compute(step - 1, half(h), rank, parts);
+          {
+            BWFFT_OBS_TASK(obs_task, "compute", 'C', step - 1, ComputeBusyNs);
+            stage.compute(step - 1, half(h), rank, parts);
+          }
           t_comp += t.seconds();
           record(step, TraceEvent::Kind::Compute, step - 1, h, tid);
         }
       }
-      team_.barrier().arrive_and_wait();
+      wait_at_barrier(step);
     }
     merge_util(t_load, t_comp, t_store);
   });
@@ -121,11 +147,11 @@ void DoubleBufferPipeline::execute_unpipelined(const PipelineStage& stage) {
     for (idx_t i = 0; i < stage.iterations; ++i) {
       cplx* buf = half(0);
       stage.load(i, buf, tid, parts);
-      team_.barrier().arrive_and_wait();
+      wait_at_barrier(i);
       stage.compute(i, buf, tid, parts);
-      team_.barrier().arrive_and_wait();
+      wait_at_barrier(i);
       stage.store(i, buf, tid, parts);
-      team_.barrier().arrive_and_wait();
+      wait_at_barrier(i);
     }
   });
 }

@@ -98,6 +98,8 @@ class DoubleBufferPipeline {
  private:
   cplx* half(int h) { return buffer_.data() + h * block_elems_; }
   void record(idx_t step, TraceEvent::Kind kind, idx_t iter, int h, int tid);
+  /// Team barrier with obs accounting (barrier-wait ns, 'B' slices).
+  void wait_at_barrier(idx_t step);
 
   ThreadTeam& team_;
   RolePlan roles_;

@@ -6,6 +6,7 @@
 #include "common/cpu.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "parallel/team.h"
 
 namespace bwfft {
@@ -24,37 +25,60 @@ StreamResult run_stream(std::size_t elems, int threads, int reps) {
   });
 
   const double scalar = 3.0;
+  [[maybe_unused]] const std::uint64_t arr_bytes =
+      static_cast<std::uint64_t>(elems) * sizeof(double);
   double best[4] = {1e30, 1e30, 1e30, 1e30};
   for (int r = 0; r < reps; ++r) {
     Timer t;
-    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
-      for (idx_t i = lo; i < hi; ++i)
-        c[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
-    });
+    {
+      BWFFT_OBS_SCOPE(obs_k, "stream-copy", 'X', r);
+      BWFFT_OBS_COUNT(BytesLoaded, arr_bytes);
+      BWFFT_OBS_COUNT(BytesStored, arr_bytes);
+      parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+        for (idx_t i = lo; i < hi; ++i)
+          c[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+      });
+    }
     best[0] = std::min(best[0], t.seconds());
 
     t.reset();
-    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
-      for (idx_t i = lo; i < hi; ++i)
-        b[static_cast<std::size_t>(i)] = scalar * c[static_cast<std::size_t>(i)];
-    });
+    {
+      BWFFT_OBS_SCOPE(obs_k, "stream-scale", 'X', r);
+      BWFFT_OBS_COUNT(BytesLoaded, arr_bytes);
+      BWFFT_OBS_COUNT(BytesStored, arr_bytes);
+      parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+        for (idx_t i = lo; i < hi; ++i)
+          b[static_cast<std::size_t>(i)] =
+              scalar * c[static_cast<std::size_t>(i)];
+      });
+    }
     best[1] = std::min(best[1], t.seconds());
 
     t.reset();
-    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
-      for (idx_t i = lo; i < hi; ++i)
-        c[static_cast<std::size_t>(i)] =
-            a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
-    });
+    {
+      BWFFT_OBS_SCOPE(obs_k, "stream-add", 'X', r);
+      BWFFT_OBS_COUNT(BytesLoaded, 2 * arr_bytes);
+      BWFFT_OBS_COUNT(BytesStored, arr_bytes);
+      parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+        for (idx_t i = lo; i < hi; ++i)
+          c[static_cast<std::size_t>(i)] =
+              a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+      });
+    }
     best[2] = std::min(best[2], t.seconds());
 
     t.reset();
-    parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
-      for (idx_t i = lo; i < hi; ++i)
-        a[static_cast<std::size_t>(i)] =
-            b[static_cast<std::size_t>(i)] +
-            scalar * c[static_cast<std::size_t>(i)];
-    });
+    {
+      BWFFT_OBS_SCOPE(obs_k, "stream-triad", 'X', r);
+      BWFFT_OBS_COUNT(BytesLoaded, 2 * arr_bytes);
+      BWFFT_OBS_COUNT(BytesStored, arr_bytes);
+      parallel_for_chunks(team, n, [&](int, idx_t lo, idx_t hi) {
+        for (idx_t i = lo; i < hi; ++i)
+          a[static_cast<std::size_t>(i)] =
+              b[static_cast<std::size_t>(i)] +
+              scalar * c[static_cast<std::size_t>(i)];
+      });
+    }
     best[3] = std::min(best[3], t.seconds());
   }
 

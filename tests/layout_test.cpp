@@ -3,8 +3,12 @@
 // format-change properties.
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "layout/format.h"
+#include "obs/obs.h"
 #include "layout/rotate.h"
 #include "layout/stream_copy.h"
 #include "layout/transpose.h"
@@ -138,6 +142,52 @@ TEST(StreamCopy, FillStream) {
   fill_stream(dst.data(), cplx(3, -2), 64, true);
   stream_fence();
   for (const auto& v : dst) EXPECT_EQ(cplx(3, -2), v);
+}
+
+TEST(StreamCopy, FillStreamOddCountFillsEveryElement) {
+  // Regression: an odd count used to take the all-scalar fallback for the
+  // whole range; now the even prefix streams and only the final element
+  // is stored normally — and every element must still be written.
+  for (idx_t count : {1, 3, 33, 63}) {
+    AlignedBuffer<cplx> dst(static_cast<std::size_t>(count) + 1);
+    const cplx sentinel(-7.0, 7.0);
+    const cplx value(3.0, -2.0);
+    for (idx_t i = 0; i <= count; ++i) {
+      dst[static_cast<std::size_t>(i)] = sentinel;
+    }
+    fill_stream(dst.data(), value, count, true);
+    for (idx_t i = 0; i < count; ++i) {
+      EXPECT_EQ(value, dst[static_cast<std::size_t>(i)]) << "i=" << i;
+    }
+    // No overrun past count.
+    EXPECT_EQ(sentinel, dst[static_cast<std::size_t>(count)]);
+  }
+}
+
+#if defined(BWFFT_OBS) && defined(__AVX__)
+TEST(StreamCopy, FillStreamOddCountStillUsesNonTemporalStores) {
+  // Regression (observable half of the odd-count bug): with a 33-element
+  // aligned fill, the even 32-element prefix must go through NT stores —
+  // 32 cplx = 64 doubles = 16 32-byte streams — instead of zero.
+  AlignedBuffer<cplx> dst(33);
+  obs::reset_counters();
+  fill_stream(dst.data(), cplx(1.0, 2.0), 33, true);
+  EXPECT_EQ(16u, obs::counter_total(obs::Counter::NtStores));
+  obs::reset_counters();
+}
+#endif
+
+TEST(StreamCopy, FillStreamVisibleToOtherThreadAfterJoin) {
+  // The NT path now ends with its own stream_fence(), so a consumer that
+  // synchronizes only via thread join / barrier (no explicit fence of its
+  // own) must observe the filled values.
+  AlignedBuffer<cplx> dst(1024);
+  std::thread producer(
+      [&] { fill_stream(dst.data(), cplx(5.0, -5.0), 1024, true); });
+  producer.join();
+  for (std::size_t i = 0; i < 1024; ++i) {
+    ASSERT_EQ(cplx(5.0, -5.0), dst[i]) << "i=" << i;
+  }
 }
 
 TEST(Format, SplitRoundTrip) {

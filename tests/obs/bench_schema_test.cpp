@@ -1,0 +1,137 @@
+// Tests for the BENCH_*.json schema helpers and the minimal JSON value.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchutil/bench_schema.h"
+#include "benchutil/json.h"
+
+namespace bwfft {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport rep;
+  rep.label = "PRX";
+  rep.stream_gbs = 21.5;
+  BenchRow row;
+  row.engine = "double-buffer";
+  row.dims = {128, 128, 128};
+  row.best_seconds = 0.012;
+  row.pseudo_gflops = 36.9;
+  row.pct_of_peak = 81.0;
+  row.counters.emplace_back("bytes_loaded", std::uint64_t{100663296});
+  row.counters.emplace_back("nt_stores", std::uint64_t{3145728});
+  row.stages.push_back({"stage-0", 0.004, 83.0});
+  row.stages.push_back({"stage-1", 0.004, 80.0});
+  row.stages.push_back({"stage-2", 0.004, 79.5});
+  rep.rows.push_back(row);
+  BenchRow row2;
+  row2.engine = "pencil";
+  row2.dims = {512, 1024};
+  row2.best_seconds = 0.05;
+  row2.pseudo_gflops = 2.1;
+  row2.pct_of_peak = 9.0;
+  rep.rows.push_back(row2);
+  return rep;
+}
+
+TEST(BenchSchema, SerializedReportValidates) {
+  const Json doc = bench_report_to_json(sample_report());
+  std::string err;
+  EXPECT_TRUE(validate_bench_report(doc, &err)) << err;
+}
+
+TEST(BenchSchema, SurvivesDumpParseRoundTrip) {
+  const Json doc = bench_report_to_json(sample_report());
+  std::string err;
+  const Json back = Json::parse(doc.dump(2), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(validate_bench_report(back, &err)) << err;
+
+  const BenchReport rep = bench_report_from_json(back);
+  ASSERT_EQ(2u, rep.rows.size());
+  EXPECT_EQ("PRX", rep.label);
+  EXPECT_DOUBLE_EQ(21.5, rep.stream_gbs);
+  EXPECT_EQ("double-buffer", rep.rows[0].engine);
+  EXPECT_EQ((std::vector<idx_t>{128, 128, 128}), rep.rows[0].dims);
+  EXPECT_DOUBLE_EQ(0.012, rep.rows[0].best_seconds);
+  ASSERT_EQ(2u, rep.rows[0].counters.size());
+  EXPECT_EQ("bytes_loaded", rep.rows[0].counters[0].first);
+  EXPECT_EQ(std::uint64_t{100663296}, rep.rows[0].counters[0].second);
+  ASSERT_EQ(3u, rep.rows[0].stages.size());
+  EXPECT_EQ("stage-2", rep.rows[0].stages[2].name);
+  EXPECT_DOUBLE_EQ(79.5, rep.rows[0].stages[2].pct_of_peak);
+  EXPECT_EQ((std::vector<idx_t>{512, 1024}), rep.rows[1].dims);
+}
+
+TEST(BenchSchema, RejectsSchemaViolations) {
+  std::string err;
+
+  Json wrong_schema = bench_report_to_json(sample_report());
+  wrong_schema.set("schema", "bwfft-bench-v0");
+  EXPECT_FALSE(validate_bench_report(wrong_schema, &err));
+  EXPECT_NE(std::string::npos, err.find("schema"));
+
+  Json no_label = bench_report_to_json(sample_report());
+  no_label.set("label", "");
+  EXPECT_FALSE(validate_bench_report(no_label, &err));
+
+  Json bad_bw = bench_report_to_json(sample_report());
+  bad_bw.set("stream_gbs", 0.0);
+  EXPECT_FALSE(validate_bench_report(bad_bw, &err));
+
+  BenchReport empty = sample_report();
+  empty.rows.clear();
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(empty), &err));
+  EXPECT_NE(std::string::npos, err.find("results"));
+
+  BenchReport one_dim = sample_report();
+  one_dim.rows[0].dims = {128};
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(one_dim), &err));
+
+  BenchReport zero_dim = sample_report();
+  zero_dim.rows[0].dims = {128, 0, 128};
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(zero_dim), &err));
+
+  BenchReport zero_secs = sample_report();
+  zero_secs.rows[0].best_seconds = 0.0;
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(zero_secs), &err));
+
+  BenchReport bad_stage = sample_report();
+  bad_stage.rows[0].stages[0].seconds = 0.0;
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(bad_stage), &err));
+  EXPECT_NE(std::string::npos, err.find("stage"));
+
+  EXPECT_FALSE(validate_bench_report(Json(), &err));  // not an object
+}
+
+TEST(Json, ParsesAndPreservesIntegers) {
+  std::string err;
+  const Json doc = Json::parse(
+      R"({"a": 9007199254740993, "b": [1, 2.5, true, null, "x\"y"]})", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  // 2^53+1 is not representable as a double; as_int must preserve it.
+  EXPECT_EQ(9007199254740993LL, doc.find("a")->as_int());
+  const Json* b = doc.find("b");
+  ASSERT_NE(nullptr, b);
+  ASSERT_EQ(5u, b->size());
+  EXPECT_EQ(1, (*b)[0].as_int());
+  EXPECT_DOUBLE_EQ(2.5, (*b)[1].as_double());
+  EXPECT_TRUE((*b)[2].as_bool());
+  EXPECT_TRUE((*b)[3].is_null());
+  EXPECT_EQ("x\"y", (*b)[4].as_string());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\":1,}", "tru", "1 2",
+        "{\"a\" 1}", "\"unterminated"}) {
+    std::string err;
+    Json::parse(bad, &err);
+    EXPECT_FALSE(err.empty()) << "should reject: " << bad;
+    EXPECT_FALSE(Json::valid(bad));
+  }
+}
+
+}  // namespace
+}  // namespace bwfft

@@ -1,0 +1,135 @@
+// Regression tests for the strict bwfft_cli argument parser.
+//
+// The original in-tool parser fed std::atoll results straight into plan
+// construction: `--dims 0x0` produced zero-sized plans, `--dims x128` and
+// `--dims 12ax34` silently parsed to 0/12, and `--threads -4` reached the
+// team constructor. Every case below must now fail with a diagnostic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchutil/args.h"
+
+namespace bwfft::cli {
+namespace {
+
+TEST(ParseInt, AcceptsWholeTokenIntegers) {
+  long long v = 0;
+  std::string err;
+  EXPECT_TRUE(parse_int("42", 1, &v, &err));
+  EXPECT_EQ(42, v);
+  EXPECT_TRUE(parse_int("1", 1, &v, &err));
+  EXPECT_EQ(1, v);
+}
+
+TEST(ParseInt, RejectsGarbageOverflowAndRange) {
+  long long v = 0;
+  std::string err;
+  EXPECT_FALSE(parse_int("", 0, &v, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_int("12a", 0, &v, &err));
+  EXPECT_FALSE(parse_int("a12", 0, &v, &err));
+  EXPECT_FALSE(parse_int("4.5", 0, &v, &err));
+  EXPECT_FALSE(parse_int("99999999999999999999999", 0, &v, &err));
+  EXPECT_FALSE(parse_int("0", 1, &v, &err));   // below min
+  EXPECT_FALSE(parse_int("-4", 1, &v, &err));  // below min
+}
+
+TEST(ParseDims, AcceptsTwoAndThreeDimensions) {
+  std::vector<idx_t> dims;
+  std::string err;
+  ASSERT_TRUE(parse_dims("128x64", &dims, &err));
+  EXPECT_EQ((std::vector<idx_t>{128, 64}), dims);
+  ASSERT_TRUE(parse_dims("4x8x16", &dims, &err));
+  EXPECT_EQ((std::vector<idx_t>{4, 8, 16}), dims);
+}
+
+TEST(ParseDims, RejectsMalformedSpecs) {
+  std::vector<idx_t> dims;
+  std::string err;
+  // Each of these used to reach plan construction as garbage.
+  EXPECT_FALSE(parse_dims("0x0", &dims, &err));      // atoll -> 0: div by zero
+  EXPECT_FALSE(parse_dims("x128", &dims, &err));     // empty first token -> 0
+  EXPECT_FALSE(parse_dims("12ax34", &dims, &err));   // atoll -> 12 silently
+  EXPECT_FALSE(parse_dims("128", &dims, &err));      // 1 dim
+  EXPECT_FALSE(parse_dims("2x2x2x2", &dims, &err));  // 4 dims
+  EXPECT_FALSE(parse_dims("", &dims, &err));
+  EXPECT_FALSE(parse_dims("128x", &dims, &err));     // trailing separator
+  EXPECT_FALSE(parse_dims("-8x16", &dims, &err));    // negative
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ParseArgs, DefaultsSurviveEmptyArgv) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse_args({}, &o, &err));
+  EXPECT_EQ((std::vector<idx_t>{128, 128, 128}), o.dims);
+  EXPECT_EQ("dbuf", o.engine);
+  EXPECT_EQ(0, o.threads);
+  EXPECT_EQ(3, o.reps);
+  EXPECT_TRUE(o.nontemporal);
+  EXPECT_TRUE(o.trace_path.empty());
+}
+
+TEST(ParseArgs, ParsesFullCommandLine) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse_args({"--dims", "256x128", "--engine", "stagepar",
+                          "--threads", "8", "--compute", "4", "--block",
+                          "4096", "--mu", "4", "--reps", "5", "--inverse",
+                          "--verify", "--no-nt", "--stats", "--trace",
+                          "out.json"},
+                         &o, &err))
+      << err;
+  EXPECT_EQ((std::vector<idx_t>{256, 128}), o.dims);
+  EXPECT_EQ("stagepar", o.engine);
+  EXPECT_EQ(8, o.threads);
+  EXPECT_EQ(4, o.compute);
+  EXPECT_EQ(4096, o.block);
+  EXPECT_EQ(4, o.mu);
+  EXPECT_EQ(5, o.reps);
+  EXPECT_TRUE(o.inverse);
+  EXPECT_TRUE(o.verify);
+  EXPECT_FALSE(o.nontemporal);
+  EXPECT_TRUE(o.stats);
+  EXPECT_EQ("out.json", o.trace_path);
+}
+
+TEST(ParseArgs, RejectsInvalidNumericFlags) {
+  Options o;
+  std::string err;
+  EXPECT_FALSE(parse_args({"--threads", "0"}, &o, &err));  // must be >= 1
+  EXPECT_FALSE(parse_args({"--threads", "-4"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--threads", "4x"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--compute", "-1"}, &o, &err));  // flag min is 0
+  EXPECT_FALSE(parse_args({"--reps", "0"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--block", "0"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--mu", "0"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--reps"}, &o, &err));  // missing value
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ParseArgs, RejectsUnknownFlagsAndEngines) {
+  Options o;
+  std::string err;
+  EXPECT_FALSE(parse_args({"--bogus"}, &o, &err));
+  EXPECT_NE(std::string::npos, err.find("--bogus"));
+  EXPECT_FALSE(parse_args({"--engine", "mkl"}, &o, &err));
+  EXPECT_NE(std::string::npos, err.find("mkl"));
+  EXPECT_FALSE(parse_args({"--trace"}, &o, &err));
+}
+
+TEST(ParseArgs, AcceptsEveryEngineSpelling) {
+  for (const char* name :
+       {"dbuf", "double-buffer", "stagepar", "stage-parallel", "slab",
+        "slab-pencil", "pencil", "reference"}) {
+    Options o;
+    std::string err;
+    EXPECT_TRUE(parse_args({"--engine", name}, &o, &err)) << name;
+    EXPECT_EQ(name, o.engine);
+  }
+}
+
+}  // namespace
+}  // namespace bwfft::cli

@@ -1,0 +1,191 @@
+// Tests for the observability layer: thread-local counters, the slice
+// recorder, the chrome-trace exporter and the roofline report.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil/json.h"
+#include "obs/obs.h"
+
+namespace bwfft::obs {
+namespace {
+
+TEST(ObsCounters, AccumulateAcrossThreadsAndSurviveThreadExit) {
+  reset_counters();
+  counter_add(Counter::BytesLoaded, 100);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) counter_add(Counter::BytesLoaded, 1);
+      counter_add(Counter::NtStores, 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The worker threads have exited; their blocks must have been retired
+  // into the registry, not lost.
+  EXPECT_EQ(4100u, counter_total(Counter::BytesLoaded));
+  EXPECT_EQ(28u, counter_total(Counter::NtStores));
+  EXPECT_EQ(0u, counter_total(Counter::BytesStored));
+
+  const CounterSnapshot snap = counters();
+  EXPECT_EQ(4100u, snap[Counter::BytesLoaded]);
+  EXPECT_EQ(28u, snap[Counter::NtStores]);
+
+  reset_counters();
+  EXPECT_EQ(0u, counter_total(Counter::BytesLoaded));
+  EXPECT_EQ(0u, counter_total(Counter::NtStores));
+}
+
+TEST(ObsCounters, NamesAreStableSnakeCase) {
+  EXPECT_STREQ("bytes_loaded", counter_name(Counter::BytesLoaded));
+  EXPECT_STREQ("bytes_stored", counter_name(Counter::BytesStored));
+  EXPECT_STREQ("nt_stores", counter_name(Counter::NtStores));
+  EXPECT_STREQ("barrier_wait_ns", counter_name(Counter::BarrierWaitNs));
+  EXPECT_STREQ("load_busy_ns", counter_name(Counter::LoadBusyNs));
+  EXPECT_STREQ("compute_busy_ns", counter_name(Counter::ComputeBusyNs));
+  EXPECT_STREQ("store_busy_ns", counter_name(Counter::StoreBusyNs));
+}
+
+TEST(ObsScopedSlice, FeedsBusyCounterEvenWithoutTracing) {
+  reset_counters();
+  ASSERT_FALSE(trace_active());
+  {
+    ScopedSlice s("work", 'C', 0,
+                  static_cast<int>(Counter::ComputeBusyNs));
+    // Arbitrary small delay so the duration is non-zero on any clock.
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(counter_total(Counter::ComputeBusyNs), 0u);
+  reset_counters();
+}
+
+TEST(ObsTrace, RecordsOnlyWhileArmed) {
+  {
+    ScopedSlice s("before", 'X');
+  }
+  start_trace();
+  {
+    ScopedSlice s("during-1", 'L', 3);
+  }
+  {
+    ScopedSlice s("during-2", 'C', 4);
+  }
+  stop_trace();
+  {
+    ScopedSlice s("after", 'X');
+  }
+
+  const std::vector<Slice> slices = drain_trace();
+  ASSERT_EQ(2u, slices.size());
+  // drain_trace sorts by start time.
+  EXPECT_LE(slices[0].t0_ns, slices[1].t0_ns);
+  EXPECT_STREQ("during-1", slices[0].name);
+  EXPECT_EQ('L', slices[0].phase);
+  EXPECT_EQ(3, slices[0].arg);
+  EXPECT_STREQ("during-2", slices[1].name);
+  EXPECT_LE(slices[0].t0_ns, slices[0].t1_ns);
+}
+
+TEST(ObsTrace, StartTraceClearsPreviousSlices) {
+  start_trace();
+  {
+    ScopedSlice s("old", 'X');
+  }
+  stop_trace();
+  start_trace();
+  {
+    ScopedSlice s("new", 'X');
+  }
+  stop_trace();
+  const std::vector<Slice> slices = drain_trace();
+  ASSERT_EQ(1u, slices.size());
+  EXPECT_STREQ("new", slices[0].name);
+}
+
+TEST(ObsTrace, RingOverflowDropsOldestAndCounts) {
+  start_trace();
+  const int n = (1 << 14) + 500;  // ring capacity is 1<<14 per thread
+  for (int i = 0; i < n; ++i) {
+    record_slice("s", 'X', static_cast<std::uint64_t>(i),
+                 static_cast<std::uint64_t>(i) + 1, i);
+  }
+  stop_trace();
+  EXPECT_GE(dropped_slices(), 500u);
+  const std::vector<Slice> slices = drain_trace();
+  EXPECT_EQ(std::size_t{1} << 14, slices.size());
+  // The survivors are the newest entries.
+  EXPECT_EQ(n - 1, slices.back().arg);
+}
+
+TEST(ObsChromeTrace, ExportsValidJsonWithOneEventPerSlice) {
+  start_trace();
+  {
+    ScopedSlice s("load", 'L', 0);
+  }
+  {
+    ScopedSlice s("compute", 'C', 1);
+  }
+  {
+    ScopedSlice s("store", 'S', 2);
+  }
+  stop_trace();
+  const std::vector<Slice> slices = drain_trace();
+  ASSERT_EQ(3u, slices.size());
+
+  const std::string json = chrome_trace_json(slices);
+  std::string err;
+  const Json doc = Json::parse(json, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(doc.is_object());
+
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(nullptr, events);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(3u, events->size());
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& ev = (*events)[i];
+    ASSERT_TRUE(ev.is_object());
+    const Json* ph = ev.find("ph");
+    ASSERT_NE(nullptr, ph);
+    EXPECT_EQ("X", ph->as_string());  // complete events
+    EXPECT_NE(nullptr, ev.find("name"));
+    EXPECT_NE(nullptr, ev.find("cat"));
+    EXPECT_NE(nullptr, ev.find("ts"));
+    EXPECT_NE(nullptr, ev.find("dur"));
+    EXPECT_NE(nullptr, ev.find("tid"));
+    EXPECT_NE(nullptr, ev.find("pid"));
+  }
+  // Category comes from the phase code.
+  EXPECT_EQ("load", (*events)[0].find("cat")->as_string());
+}
+
+TEST(ObsRoofline, RatesStageSlicesAgainstStreamingBound) {
+  // Hand-built trace: one 'G' stage of 2 ms and one of 4 ms, plus a
+  // non-stage slice that must be ignored.
+  std::vector<Slice> slices;
+  slices.push_back({"stage-0", 'G', 0, 2'000'000, 0, 0});
+  slices.push_back({"load", 'L', 0, 500'000, 0, 1});
+  slices.push_back({"stage-1", 'G', 2'000'000, 6'000'000, 1, 0});
+
+  // stage_bytes = 1e7 at 10 GB/s -> io bound = 1 ms per stage.
+  const auto roof = roofline_from_trace(slices, 1e7, 10.0);
+  ASSERT_EQ(2u, roof.size());
+  EXPECT_EQ("stage-0", roof[0].name);
+  EXPECT_NEAR(2e-3, roof[0].seconds, 1e-9);
+  EXPECT_NEAR(1e-3, roof[0].io_bound_seconds, 1e-9);
+  EXPECT_NEAR(50.0, roof[0].pct_of_peak, 1e-6);
+  EXPECT_EQ("stage-1", roof[1].name);
+  EXPECT_NEAR(25.0, roof[1].pct_of_peak, 1e-6);
+}
+
+TEST(ObsRoofline, EmptyTraceYieldsNoStages) {
+  EXPECT_TRUE(roofline_from_trace({}, 1e7, 10.0).empty());
+}
+
+}  // namespace
+}  // namespace bwfft::obs

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -131,6 +132,50 @@ TEST(Team, PropagatesExceptions) {
   std::atomic<int> ok{0};
   team.run([&](int) { ok.fetch_add(1); });
   EXPECT_EQ(4, ok.load());
+}
+
+TEST(Team, ThrowingJobDoesNotDeadlockBarrierWaiters) {
+  // Regression: a job that threw while its teammates were blocked in
+  // arrive_and_wait() used to deadlock the team — the waiters spun
+  // forever on a count the dead thread would never contribute, and run()
+  // never returned. The barrier abort protocol drains the waiters (they
+  // throw) and the ORIGINAL error is the one rethrown, not the drain
+  // error of a surviving teammate.
+  ThreadTeam team(4);
+  try {
+    team.run([&](int tid) {
+      if (tid == 0) throw Error("original failure");
+      team.barrier().arrive_and_wait();  // deadlocks without the abort
+    });
+    FAIL() << "run() must rethrow the job's exception";
+  } catch (const Error& e) {
+    EXPECT_NE(nullptr, std::strstr(e.what(), "original failure"));
+  }
+  // The abort flag must be reset: the team AND its barrier stay usable.
+  std::atomic<int> crossed{0};
+  team.run([&](int) {
+    team.barrier().arrive_and_wait();
+    crossed.fetch_add(1);
+    team.barrier().arrive_and_wait();
+  });
+  EXPECT_EQ(4, crossed.load());
+}
+
+TEST(Team, AbortDrainsMultiplePipelineSteps) {
+  // A throwing thread must also unblock teammates that are several
+  // barrier rounds into a pipelined loop, mirroring the Table II step
+  // structure where only some threads hit the failing task.
+  ThreadTeam team(3);
+  EXPECT_THROW(team.run([&](int tid) {
+                 for (int step = 0; step < 8; ++step) {
+                   if (tid == 1 && step == 3) throw Error("step failure");
+                   team.barrier().arrive_and_wait();
+                 }
+               }),
+               Error);
+  std::atomic<int> ok{0};
+  team.run([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(3, ok.load());
 }
 
 TEST(Team, ChunkCoversRangeWithoutOverlap) {

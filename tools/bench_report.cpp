@@ -1,0 +1,84 @@
+// bench_report — validate and pretty-print BENCH_*.json trajectory files.
+//
+//   bench_report FILE...
+//
+// Each file is parsed, checked against the bwfft-bench-v1 schema
+// (benchutil/bench_schema) and summarised as a table; any malformed file
+// makes the exit status non-zero, so check.sh can use this as the schema
+// gate for the committed trajectory.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchutil/bench_schema.h"
+#include "benchutil/json.h"
+
+using namespace bwfft;
+
+namespace {
+
+bool report_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", path);
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+
+  std::string err;
+  const Json doc = Json::parse(text, &err);
+  if (doc.is_null() && !err.empty()) {
+    std::fprintf(stderr, "bench_report: %s: parse error: %s\n", path,
+                 err.c_str());
+    return false;
+  }
+  if (!validate_bench_report(doc, &err)) {
+    std::fprintf(stderr, "bench_report: %s: invalid: %s\n", path,
+                 err.c_str());
+    return false;
+  }
+  const BenchReport rep = bench_report_from_json(doc);
+
+  std::printf("%s: label=%s stream=%.1f GB/s, %zu rows\n", path,
+              rep.label.c_str(), rep.stream_gbs, rep.rows.size());
+  std::printf("  %-14s %-14s %10s %10s %7s  stages\n", "engine", "dims",
+              "best ms", "GF/s", "%peak");
+  for (const BenchRow& row : rep.rows) {
+    std::string dims;
+    for (std::size_t i = 0; i < row.dims.size(); ++i) {
+      dims += (i ? "x" : "") + std::to_string(row.dims[i]);
+    }
+    std::string stages;
+    for (const BenchStage& s : row.stages) {
+      if (!stages.empty()) stages += " | ";
+      char sb[96];
+      std::snprintf(sb, sizeof(sb), "%s %.0f%%", s.name.c_str(),
+                    s.pct_of_peak);
+      stages += sb;
+    }
+    std::printf("  %-14s %-14s %10.3f %10.2f %6.1f%%  %s\n",
+                row.engine.c_str(), dims.c_str(), row.best_seconds * 1e3,
+                row.pseudo_gflops, row.pct_of_peak, stages.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!report_file(argv[i])) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -3,120 +3,77 @@
 //   bwfft_cli --dims 128x128x128 [--engine dbuf|stagepar|slab|pencil]
 //             [--threads P] [--compute PC] [--block ELEMS] [--reps R]
 //             [--inverse] [--verify] [--no-nt] [--mu MU] [--stats]
+//             [--trace out.json]
 //
 // Plans the transform, times `reps` executions, prints pseudo-Gflop/s and
 // (optionally) verifies against the dense reference (small sizes) or the
-// inverse round trip (any size).
+// inverse round trip (any size). With --stats the run is replayed once
+// under the observability layer and a counter dump plus a per-stage
+// roofline (%-of-achievable-peak against the measured STREAM bandwidth)
+// is printed; --trace additionally writes a chrome://tracing JSON file.
+//
+// Argument parsing lives in benchutil/args.{h,cpp} so the strict
+// validation is unit-tested; every numeric flag rejects trailing garbage,
+// overflow and out-of-range values instead of feeding atoll() results
+// into plan construction.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "benchutil/args.h"
 #include "benchutil/metrics.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "fft/double_buffer.h"
 #include "fft/fft.h"
 #include "fft/reference.h"
+#include "obs/obs.h"
+#include "stream/stream.h"
 
 using namespace bwfft;
 
 namespace {
-
-struct Args {
-  std::vector<idx_t> dims{128, 128, 128};
-  EngineKind engine = EngineKind::DoubleBuffer;
-  int threads = 0;
-  int compute = -1;
-  idx_t block = 0;
-  idx_t mu = 0;
-  int reps = 3;
-  bool inverse = false;
-  bool verify = false;
-  bool nontemporal = true;
-  bool stats = false;
-};
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dims KxNxM|NxM [--engine "
                "dbuf|stagepar|slab|pencil|reference] [--threads P] "
                "[--compute PC] [--block ELEMS] [--mu MU] [--reps R] "
-               "[--inverse] [--verify] [--no-nt] [--stats]\n",
+               "[--inverse] [--verify] [--no-nt] [--stats] "
+               "[--trace out.json]\n",
                argv0);
   std::exit(2);
 }
 
-std::vector<idx_t> parse_dims(const std::string& s) {
-  std::vector<idx_t> dims;
-  std::size_t pos = 0;
-  while (pos < s.size()) {
-    std::size_t next = s.find('x', pos);
-    if (next == std::string::npos) next = s.size();
-    dims.push_back(std::atoll(s.substr(pos, next - pos).c_str()));
-    pos = next + 1;
-  }
-  return dims;
-}
-
-EngineKind parse_engine(const std::string& s) {
+EngineKind engine_kind(const std::string& s) {
   if (s == "dbuf" || s == "double-buffer") return EngineKind::DoubleBuffer;
-  if (s == "stagepar" || s == "stage-parallel") return EngineKind::StageParallel;
+  if (s == "stagepar" || s == "stage-parallel")
+    return EngineKind::StageParallel;
   if (s == "slab" || s == "slab-pencil") return EngineKind::SlabPencil;
   if (s == "pencil") return EngineKind::Pencil;
-  if (s == "reference") return EngineKind::Reference;
-  std::fprintf(stderr, "unknown engine '%s'\n", s.c_str());
-  std::exit(2);
-}
-
-Args parse(int argc, char** argv) {
-  Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--dims") {
-      a.dims = parse_dims(next());
-    } else if (arg == "--engine") {
-      a.engine = parse_engine(next());
-    } else if (arg == "--threads") {
-      a.threads = std::atoi(next().c_str());
-    } else if (arg == "--compute") {
-      a.compute = std::atoi(next().c_str());
-    } else if (arg == "--block") {
-      a.block = std::atoll(next().c_str());
-    } else if (arg == "--mu") {
-      a.mu = std::atoll(next().c_str());
-    } else if (arg == "--reps") {
-      a.reps = std::atoi(next().c_str());
-    } else if (arg == "--inverse") {
-      a.inverse = true;
-    } else if (arg == "--verify") {
-      a.verify = true;
-    } else if (arg == "--no-nt") {
-      a.nontemporal = false;
-    } else if (arg == "--stats") {
-      a.stats = true;
-    } else {
-      usage(argv[0]);
-    }
-  }
-  if (a.dims.size() != 2 && a.dims.size() != 3) usage(argv[0]);
-  return a;
+  return EngineKind::Reference;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args a = parse(argc, argv);
+  cli::Options a;
+  std::string err;
+  if (!cli::parse_args(std::vector<std::string>(argv + 1, argv + argc), &a,
+                       &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    usage(argv[0]);
+  }
+  const EngineKind kind = engine_kind(a.engine);
   idx_t total = 1;
   for (idx_t d : a.dims) total *= d;
 
   FftOptions opts;
-  opts.engine = a.engine;
+  opts.engine = kind;
   opts.threads = a.threads;
   opts.compute_threads = a.compute;
   opts.block_elems = a.block;
@@ -127,46 +84,87 @@ int main(int argc, char** argv) {
   cvec original = random_cvec(total);
   cvec in(original.size()), out(original.size());
 
-  auto describe = [&] {
-    std::printf("dims=");
-    for (std::size_t i = 0; i < a.dims.size(); ++i) {
-      std::printf("%s%lld", i ? "x" : "", static_cast<long long>(a.dims[i]));
+  std::printf("dims=");
+  for (std::size_t i = 0; i < a.dims.size(); ++i) {
+    std::printf("%s%lld", i ? "x" : "", static_cast<long long>(a.dims[i]));
+  }
+  std::printf(" engine=%s dir=%s threads=%d\n", engine_name(kind),
+              a.inverse ? "inverse" : "forward",
+              a.threads > 0 ? a.threads : opts.topo.total_threads());
+
+  std::unique_ptr<Fft2d> plan2;
+  std::unique_ptr<Fft3d> plan3;
+  if (a.dims.size() == 2) {
+    plan2 = std::make_unique<Fft2d>(a.dims[0], a.dims[1], dir, opts);
+  } else {
+    plan3 = std::make_unique<Fft3d>(a.dims[0], a.dims[1], a.dims[2], dir,
+                                    opts);
+  }
+  auto run_once = [&] {
+    std::copy(original.begin(), original.end(), in.begin());
+    if (plan2) {
+      plan2->execute(in.data(), out.data());
+    } else {
+      plan3->execute(in.data(), out.data());
     }
-    std::printf(" engine=%s dir=%s threads=%d\n", engine_name(a.engine),
-                a.inverse ? "inverse" : "forward",
-                a.threads > 0 ? a.threads : opts.topo.total_threads());
   };
-  describe();
 
   double best = 1e30;
-  auto time_reps = [&](auto& plan) {
-    for (int r = 0; r < a.reps; ++r) {
-      std::copy(original.begin(), original.end(), in.begin());
-      Timer t;
-      plan.execute(in.data(), out.data());
-      best = std::min(best, t.seconds());
-    }
-  };
-
-  if (a.dims.size() == 2) {
-    Fft2d plan(a.dims[0], a.dims[1], dir, opts);
-    time_reps(plan);
-  } else {
-    Fft3d plan(a.dims[0], a.dims[1], a.dims[2], dir, opts);
-    time_reps(plan);
+  for (int r = 0; r < a.reps; ++r) {
+    Timer t;
+    run_once();
+    best = std::min(best, t.seconds());
   }
   std::printf("best of %d: %.3f ms, %.2f pseudo-Gflop/s\n", a.reps,
               best * 1e3, fft_gflops(static_cast<double>(total), best));
 
-  if (a.stats && a.engine == EngineKind::DoubleBuffer) {
-    DoubleBufferEngine eng(a.dims, dir, opts);
-    std::copy(original.begin(), original.end(), in.begin());
-    eng.execute(in.data(), out.data());
-    const auto& st = eng.last_stats();
-    for (std::size_t s = 0; s < st.size(); ++s) {
-      std::printf("  stage %zu: %.3f ms, %lld iters x %lld rows/block\n", s,
-                  st[s].seconds * 1e3, static_cast<long long>(st[s].iterations),
-                  static_cast<long long>(st[s].block_rows));
+  // Observed replay: one extra execution with counters zeroed and the
+  // slice recorder armed. Kept out of the timed loop so the published
+  // number is never measured with tracing on.
+  if (a.stats || !a.trace_path.empty()) {
+    obs::reset_counters();
+    obs::start_trace();
+    run_once();
+    obs::stop_trace();
+    const std::vector<obs::Slice> slices = obs::drain_trace();
+
+    if (!a.trace_path.empty()) {
+      if (obs::write_chrome_trace(a.trace_path, slices)) {
+        std::printf("trace: %zu slices -> %s (load in chrome://tracing)\n",
+                    slices.size(), a.trace_path.c_str());
+        if (obs::dropped_slices() > 0) {
+          std::printf("trace: %llu slices dropped (ring full)\n",
+                      static_cast<unsigned long long>(obs::dropped_slices()));
+        }
+      } else {
+        std::fprintf(stderr, "trace: cannot write %s\n",
+                     a.trace_path.c_str());
+        return 1;
+      }
+#if !defined(BWFFT_OBS)
+      std::printf("trace: built with BWFFT_OBS=OFF — no instrumentation\n");
+#endif
+    }
+
+    if (a.stats) {
+      obs::print_counters(obs::counters());
+      const double bw = measured_stream_bandwidth_gbs();
+      const double stage_bytes =
+          2.0 * static_cast<double>(total) * sizeof(cplx);
+      const auto roof = obs::roofline_from_trace(slices, stage_bytes, bw);
+      if (!roof.empty()) obs::print_roofline(roof, bw);
+      if (kind == EngineKind::DoubleBuffer) {
+        DoubleBufferEngine eng(a.dims, dir, opts);
+        std::copy(original.begin(), original.end(), in.begin());
+        eng.execute(in.data(), out.data());
+        const auto& st = eng.last_stats();
+        for (std::size_t s = 0; s < st.size(); ++s) {
+          std::printf("  stage %zu: %.3f ms, %lld iters x %lld rows/block\n",
+                      s, st[s].seconds * 1e3,
+                      static_cast<long long>(st[s].iterations),
+                      static_cast<long long>(st[s].block_rows));
+        }
+      }
     }
   }
 
@@ -176,19 +174,20 @@ int main(int argc, char** argv) {
       // Dense-oracle check for small sizes.
       cvec ref_in = original;
       if (a.dims.size() == 2) {
-        reference_dft_2d(ref_in.data(), want.data(), a.dims[0], a.dims[1], dir);
+        reference_dft_2d(ref_in.data(), want.data(), a.dims[0], a.dims[1],
+                         dir);
       } else {
         reference_dft_3d(ref_in.data(), want.data(), a.dims[0], a.dims[1],
                          a.dims[2], dir);
       }
-      double err = 0.0;
+      double verr = 0.0;
       for (idx_t i = 0; i < total; ++i) {
-        err = std::max(err, std::abs(want[static_cast<std::size_t>(i)] -
-                                     out[static_cast<std::size_t>(i)]));
+        verr = std::max(verr, std::abs(want[static_cast<std::size_t>(i)] -
+                                       out[static_cast<std::size_t>(i)]));
       }
-      std::printf("verify vs dense reference: max err = %.3e [%s]\n", err,
-                  err < 1e-8 ? "OK" : "FAIL");
-      return err < 1e-8 ? 0 : 1;
+      std::printf("verify vs dense reference: max err = %.3e [%s]\n", verr,
+                  verr < 1e-8 ? "OK" : "FAIL");
+      return verr < 1e-8 ? 0 : 1;
     }
     // Round-trip check for large sizes.
     FftOptions iopts = opts;
@@ -202,16 +201,16 @@ int main(int argc, char** argv) {
       Fft3d invp(a.dims[0], a.dims[1], a.dims[2], idir, iopts);
       invp.execute(out.data(), back.data());
     }
-    double err = 0.0;
+    double verr = 0.0;
     const double scale =
         a.inverse ? static_cast<double>(total) : 1.0;  // inv∘fwd picks up N
     for (idx_t i = 0; i < total; ++i) {
-      err = std::max(err, std::abs(back[static_cast<std::size_t>(i)] / scale -
-                                   original[static_cast<std::size_t>(i)]));
+      verr = std::max(verr, std::abs(back[static_cast<std::size_t>(i)] / scale -
+                                     original[static_cast<std::size_t>(i)]));
     }
-    std::printf("verify round-trip: max err = %.3e [%s]\n", err,
-                err < 1e-8 ? "OK" : "FAIL");
-    return err < 1e-8 ? 0 : 1;
+    std::printf("verify round-trip: max err = %.3e [%s]\n", verr,
+                verr < 1e-8 ? "OK" : "FAIL");
+    return verr < 1e-8 ? 0 : 1;
   }
   return 0;
 }

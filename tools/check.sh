@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# tools/check.sh — build and run the tier-1 suite under sanitizers.
+# tools/check.sh — build and run the test suite in the checked configurations.
 #
 #   ./tools/check.sh            # ASan+UBSan, then TSan
 #   ./tools/check.sh asan       # just ASan+UBSan
 #   ./tools/check.sh tsan       # just TSan
+#   ./tools/check.sh quick      # plain build: tier-1 suite + bench smoke
+#   ./tools/check.sh --quick    # same as quick
 #
-# Each configuration gets its own build tree (build-asan/, build-tsan/) so
-# the trees can be rebuilt incrementally; suppressions/ files are exported
-# through the sanitizer runtime options. Any sanitizer report fails the
-# corresponding ctest run (halt_on_error / abort_on_error), so a zero exit
-# status here means the whole suite ran report-free under both runtimes.
+# Each configuration gets its own build tree (build-asan/, build-tsan/,
+# build-quick/) so the trees can be rebuilt incrementally; suppressions/
+# files are exported through the sanitizer runtime options. Any sanitizer
+# report fails the corresponding ctest run (halt_on_error / abort_on_error),
+# so a zero exit status here means the whole suite ran report-free under
+# both runtimes.
+#
+# The quick configuration is the fast pre-push gate: an uninstrumented
+# RelWithDebInfo build running `ctest -L tier1`, then a bench smoke —
+# bench/run_all --smoke swept through tools/bench_report, which validates
+# the emitted BENCH json against the bwfft-bench-v1 schema.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -40,12 +48,28 @@ run_config() {
   echo "=== [$name] clean ==="
 }
 
+run_quick() {
+  local build="$ROOT/build-quick"
+  echo "=== [quick] configure ==="
+  cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== [quick] build ==="
+  cmake --build "$build" -j "$JOBS"
+  echo "=== [quick] ctest -L tier1 ==="
+  ctest --test-dir "$build" -L tier1 --output-on-failure -j "$JOBS"
+  echo "=== [quick] bench smoke ==="
+  local smoke="$build/bench_smoke.json"
+  "$build/bench/run_all" --smoke --label smoke --out "$smoke"
+  "$build/tools/bench_report" "$smoke"
+  echo "=== [quick] clean ==="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
     asan) run_config asan "address;undefined" ;;
     tsan) run_config tsan "thread" ;;
-    *) echo "unknown config '$cfg' (expected: asan, tsan)" >&2; exit 2 ;;
+    quick|--quick) run_quick ;;
+    *) echo "unknown config '$cfg' (expected: asan, tsan, quick)" >&2; exit 2 ;;
   esac
 done
 
-echo "all sanitizer configurations clean"
+echo "all requested configurations clean"
