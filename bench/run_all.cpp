@@ -59,6 +59,9 @@ BenchRow run_case(EngineKind kind, const std::vector<idx_t>& dims,
   const Direction dir = Direction::Forward;
   FftOptions opts;
   opts.engine = kind;
+  // Auto rows plan at Estimate level: the cost model alone, so the sweep
+  // stays fast and the row shows what the model would serve by default.
+  opts.tune_level = TuneLevel::Estimate;
 
   idx_t total = 1;
   for (idx_t d : dims) total *= d;
@@ -100,6 +103,9 @@ BenchRow run_case(EngineKind kind, const std::vector<idx_t>& dims,
 
   BenchRow row;
   row.engine = engine_name(kind);
+  if (kind == EngineKind::Auto) {
+    row.resolved = plan2 ? plan2->engine_name() : plan3->engine_name();
+  }
   row.dims = dims;
   row.best_seconds = best;
   row.pseudo_gflops = fft_gflops(static_cast<double>(total), best);
@@ -158,7 +164,7 @@ int main(int argc, char** argv) {
   const EngineKind engines[] = {EngineKind::Reference, EngineKind::Pencil,
                                 EngineKind::StageParallel,
                                 EngineKind::SlabPencil,
-                                EngineKind::DoubleBuffer};
+                                EngineKind::DoubleBuffer, EngineKind::Auto};
 
   BenchReport report;
   report.label = label;
@@ -184,8 +190,10 @@ int main(int argc, char** argv) {
           continue;
         }
         BenchRow row = run_case(kind, dims, report.stream_gbs);
+        std::string shown = row.engine;
+        if (!row.resolved.empty()) shown += "->" + row.resolved;
         std::printf("  %-14s %-14s %9.3f ms  %7.2f GF/s  %5.1f%% peak\n",
-                    row.engine.c_str(), dims_str(dims, buf, sizeof(buf)),
+                    shown.c_str(), dims_str(dims, buf, sizeof(buf)),
                     row.best_seconds * 1e3, row.pseudo_gflops,
                     row.pct_of_peak);
         std::fflush(stdout);

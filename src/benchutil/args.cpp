@@ -58,7 +58,11 @@ bool parse_dims(const std::string& token, std::vector<idx_t>* out,
 bool valid_engine(const std::string& name) {
   return name == "dbuf" || name == "double-buffer" || name == "stagepar" ||
          name == "stage-parallel" || name == "slab" || name == "slab-pencil" ||
-         name == "pencil" || name == "reference";
+         name == "pencil" || name == "reference" || name == "auto";
+}
+
+bool valid_tune_level(const std::string& name) {
+  return name == "estimate" || name == "measure" || name == "exhaustive";
 }
 
 bool parse_args(const std::vector<std::string>& args, Options* out,
@@ -131,10 +135,43 @@ bool parse_args(const std::vector<std::string>& args, Options* out,
         return false;
       }
       o.trace_path = token;
+    } else if (arg == "--tune") {
+      std::string token;
+      if (!next(&token)) return false;
+      if (!valid_tune_level(token)) {
+        if (err) {
+          *err = "bad --tune '" + token +
+                 "' (expected estimate, measure or exhaustive)";
+        }
+        return false;
+      }
+      o.tune = token;
+    } else if (arg == "--wisdom") {
+      std::string token;
+      if (!next(&token)) return false;
+      if (token.empty()) {
+        if (err) *err = "--wisdom requires a non-empty path";
+        return false;
+      }
+      o.wisdom_path = token;
     } else {
       if (err) *err = "unknown argument '" + arg + "'";
       return false;
     }
+  }
+  // --tune means "let the planner choose", which only the auto engine
+  // does; an explicit conflicting --engine is rejected rather than
+  // silently ignored (flag order must not matter).
+  if (!o.tune.empty()) {
+    if (o.engine != "auto" && o.engine != "dbuf") {
+      // "dbuf" is the untouched default; a deliberate non-auto engine is
+      // a contradiction with --tune.
+      if (err) {
+        *err = "--tune requires --engine auto (got '" + o.engine + "')";
+      }
+      return false;
+    }
+    o.engine = "auto";
   }
   *out = std::move(o);
   return true;

@@ -31,6 +31,8 @@ struct Options {
   bool nontemporal = true;
   bool stats = false;
   std::string trace_path;  ///< empty = no chrome-trace export
+  std::string tune;        ///< --tune level; empty = no autotuning
+  std::string wisdom_path; ///< --wisdom file; empty = no persistence
 };
 
 /// Strict base-10 integer: the whole token must parse and the value must
@@ -44,8 +46,11 @@ bool parse_int(const std::string& token, long long min_value, long long* out,
 bool parse_dims(const std::string& token, std::vector<idx_t>* out,
                 std::string* err);
 
-/// Accepted --engine spellings.
+/// Accepted --engine spellings (includes "auto").
 bool valid_engine(const std::string& name);
+
+/// Accepted --tune levels: estimate, measure, exhaustive.
+bool valid_tune_level(const std::string& name);
 
 /// Parse the full argument vector (argv[1..argc)). On failure returns
 /// false with a usage-ready message in *err; *out is unspecified.

@@ -11,6 +11,7 @@ Json bench_report_to_json(const BenchReport& report) {
   for (const BenchRow& row : report.rows) {
     Json r = Json::object();
     r.set("engine", row.engine);
+    if (!row.resolved.empty()) r.set("resolved", row.resolved);
     Json dims = Json::array();
     for (idx_t d : row.dims) dims.push_back(static_cast<std::int64_t>(d));
     r.set("dims", std::move(dims));
@@ -82,6 +83,11 @@ bool validate_bench_report(const Json& doc, std::string* err) {
     if (!engine || !engine->is_string() || engine->as_string().empty()) {
       return fail(err, where + "missing or empty 'engine'");
     }
+    if (const Json* resolved = row.find("resolved")) {
+      if (!resolved->is_string() || resolved->as_string().empty()) {
+        return fail(err, where + "'resolved' must be a non-empty string");
+      }
+    }
     const Json* dims = row.find("dims");
     if (!dims || !dims->is_array() ||
         (dims->size() != 2 && dims->size() != 3)) {
@@ -138,6 +144,7 @@ BenchReport bench_report_from_json(const Json& doc) {
     const Json& r = (*results)[i];
     BenchRow row;
     if (const Json* v = r.find("engine")) row.engine = v->as_string();
+    if (const Json* v = r.find("resolved")) row.resolved = v->as_string();
     if (const Json* v = r.find("dims")) {
       for (std::size_t d = 0; d < v->size(); ++d) {
         row.dims.push_back(static_cast<idx_t>((*v)[d].as_int()));

@@ -11,6 +11,7 @@
 // Row:
 //   {
 //     "engine": "double-buffer",
+//     "resolved": "double-buffer",    // optional: what "auto" picked
 //     "dims": [128, 128, 128],
 //     "best_seconds": 0.0123,
 //     "pseudo_gflops": 45.6,              // 5 N log2 N / best_seconds
@@ -43,6 +44,9 @@ struct BenchStage {
 
 struct BenchRow {
   std::string engine;
+  /// Concrete engine an "auto" row resolved to; empty for direct rows
+  /// (serialized only when non-empty).
+  std::string resolved;
   std::vector<idx_t> dims;
   double best_seconds = 0.0;
   double pseudo_gflops = 0.0;

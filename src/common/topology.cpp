@@ -1,6 +1,7 @@
 #include "common/topology.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/cpu.h"
 
@@ -67,19 +68,44 @@ MachineTopology amd_6276() {
 
 }  // namespace machines
 
+namespace {
+
+/// Calibrated STREAM bandwidth in GB/s; 0 until published. One shared
+/// slot is enough: the host has one memory system.
+std::atomic<double> g_calibrated_bw{0.0};
+
+}  // namespace
+
 MachineTopology host_topology() {
-  MachineTopology t;
-  t.name = "host";
-  t.sockets = 1;
-  t.cores_per_socket = online_cpus();
-  t.smt_per_core = 1;
-  // Cap the modelled LLC: virtualised environments report the host's whole
-  // cache slice (hundreds of MiB), which would make the "cache-resident"
-  // shared buffer larger than many working sets. Real LLCs in the paper's
-  // machine class are 8-20 MiB.
-  t.llc_bytes = std::min<std::size_t>(llc_bytes(), 32u << 20);
-  t.stream_bw_gbs = 10.0;  // placeholder; the stream module measures it
+  // sysfs walks (LLC size, online CPU mask) are not free and FftOptions
+  // default-initialises its topology member on every construction, so
+  // detect once per process.
+  static const MachineTopology detected = [] {
+    MachineTopology t;
+    t.name = "host";
+    t.sockets = 1;
+    t.cores_per_socket = online_cpus();
+    t.smt_per_core = 1;
+    // Cap the modelled LLC: virtualised environments report the host's
+    // whole cache slice (hundreds of MiB), which would make the
+    // "cache-resident" shared buffer larger than many working sets. Real
+    // LLCs in the paper's machine class are 8-20 MiB.
+    t.llc_bytes = std::min<std::size_t>(llc_bytes(), 32u << 20);
+    t.stream_bw_gbs = 10.0;  // placeholder until calibrated
+    return t;
+  }();
+  MachineTopology t = detected;
+  const double bw = g_calibrated_bw.load(std::memory_order_relaxed);
+  if (bw > 0.0) t.stream_bw_gbs = bw;
   return t;
+}
+
+void calibrate_host_bandwidth(double gbs) {
+  if (gbs > 0.0) g_calibrated_bw.store(gbs, std::memory_order_relaxed);
+}
+
+bool host_bandwidth_calibrated() {
+  return g_calibrated_bw.load(std::memory_order_relaxed) > 0.0;
 }
 
 }  // namespace bwfft

@@ -44,9 +44,20 @@ MachineTopology haswell_2667v3();    ///< 2 sockets, 8c/16t, 20 MB L3, 85 GB/s
 MachineTopology amd_6276();          ///< 2 sockets, 16c/16t, 16 MB L3, 20 GB/s
 }  // namespace machines
 
-/// Topology of the machine this process runs on (LLC and CPU count are
-/// detected; bandwidth is left at a conservative default until measured by
-/// the STREAM module).
+/// Topology of the machine this process runs on. LLC and CPU count are
+/// detected once (function-local static — FftOptions default-constructs
+/// one of these per plan, so detection must not re-read sysfs every
+/// time); bandwidth starts at a conservative placeholder until
+/// calibrate_host_bandwidth() publishes a measured STREAM rate.
 MachineTopology host_topology();
+
+/// Publish a measured STREAM bandwidth (GB/s); subsequent host_topology()
+/// calls report it in stream_bw_gbs. The autotuner calls this with the
+/// rate from src/stream so cost models stop using the placeholder.
+/// Non-positive values are ignored. Thread-safe.
+void calibrate_host_bandwidth(double gbs);
+
+/// True once calibrate_host_bandwidth() has published a real rate.
+bool host_bandwidth_calibrated();
 
 }  // namespace bwfft

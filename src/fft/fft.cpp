@@ -6,6 +6,9 @@
 #include "fft/reference.h"
 #include "fft/slab_pencil.h"
 #include "fft/stage_parallel.h"
+#include "layout/stream_copy.h"
+#include "obs/obs.h"
+#include "tune/tuner.h"
 
 namespace bwfft {
 
@@ -16,8 +19,50 @@ const char* engine_name(EngineKind k) {
     case EngineKind::StageParallel: return "stage-parallel";
     case EngineKind::SlabPencil: return "slab-pencil";
     case EngineKind::DoubleBuffer: return "double-buffer";
+    case EngineKind::Auto: return "auto";
   }
   return "?";
+}
+
+const char* tune_level_name(TuneLevel level) {
+  switch (level) {
+    case TuneLevel::Estimate: return "estimate";
+    case TuneLevel::Measure: return "measure";
+    case TuneLevel::Exhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+bool engine_kind_from_name(const std::string& name, EngineKind* out) {
+  if (name == "reference") {
+    *out = EngineKind::Reference;
+  } else if (name == "pencil") {
+    *out = EngineKind::Pencil;
+  } else if (name == "stage-parallel" || name == "stagepar") {
+    *out = EngineKind::StageParallel;
+  } else if (name == "slab-pencil" || name == "slab") {
+    *out = EngineKind::SlabPencil;
+  } else if (name == "double-buffer" || name == "dbuf") {
+    *out = EngineKind::DoubleBuffer;
+  } else if (name == "auto") {
+    *out = EngineKind::Auto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool tune_level_from_name(const std::string& name, TuneLevel* out) {
+  if (name == "estimate") {
+    *out = TuneLevel::Estimate;
+  } else if (name == "measure") {
+    *out = TuneLevel::Measure;
+  } else if (name == "exhaustive") {
+    *out = TuneLevel::Exhaustive;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -67,12 +112,36 @@ std::unique_ptr<MdEngine> make_engine(const std::vector<idx_t>& dims,
       return std::make_unique<SlabPencilEngine>(dims, dir, opts);
     case EngineKind::DoubleBuffer:
       return std::make_unique<DoubleBufferEngine>(dims, dir, opts);
+    case EngineKind::Auto:
+      // The planner picks the engine and knobs (wisdom first, then the
+      // cost model / measurement ladder); the resolved options are
+      // guaranteed concrete, so this recursion terminates.
+      return make_engine(dims, dir, tune::resolve_auto(dims, dir, opts));
   }
   throw Error("unknown engine kind");
 }
 
+namespace {
+
+/// Copy-back of execute_inplace: the transformed data goes back through
+/// the streaming-store path so the copy is visible to the obs counters
+/// and — with NT stores — does not evict the cache-resident state the
+/// plan was just tuned for.
+void inplace_copy_back(cplx* dst, const cvec& work, bool nontemporal) {
+  const idx_t count = static_cast<idx_t>(work.size());
+  [[maybe_unused]] const std::uint64_t bytes =
+      static_cast<std::uint64_t>(work.size()) * sizeof(cplx);
+  BWFFT_OBS_COUNT(BytesLoaded, bytes);
+  BWFFT_OBS_COUNT(BytesStored, bytes);
+  copy_stream(dst, work.data(), count, nontemporal);
+  if (nontemporal) stream_fence();
+}
+
+}  // namespace
+
 Fft2d::Fft2d(idx_t n, idx_t m, Direction dir, FftOptions opts)
-    : n_(n), m_(m), engine_(make_engine({n, m}, dir, opts)) {}
+    : n_(n), m_(m), engine_(make_engine({n, m}, dir, opts)),
+      nontemporal_(opts.nontemporal) {}
 Fft2d::~Fft2d() = default;
 Fft2d::Fft2d(Fft2d&&) noexcept = default;
 Fft2d& Fft2d::operator=(Fft2d&&) noexcept = default;
@@ -82,13 +151,14 @@ void Fft2d::execute(cplx* in, cplx* out) { engine_->execute(in, out); }
 void Fft2d::execute_inplace(cplx* data) {
   inplace_work_.resize(static_cast<std::size_t>(size()));
   engine_->execute(data, inplace_work_.data());
-  std::copy(inplace_work_.begin(), inplace_work_.end(), data);
+  inplace_copy_back(data, inplace_work_, nontemporal_);
 }
 
 const char* Fft2d::engine_name() const { return engine_->name(); }
 
 Fft3d::Fft3d(idx_t k, idx_t n, idx_t m, Direction dir, FftOptions opts)
-    : k_(k), n_(n), m_(m), engine_(make_engine({k, n, m}, dir, opts)) {}
+    : k_(k), n_(n), m_(m), engine_(make_engine({k, n, m}, dir, opts)),
+      nontemporal_(opts.nontemporal) {}
 Fft3d::~Fft3d() = default;
 Fft3d::Fft3d(Fft3d&&) noexcept = default;
 Fft3d& Fft3d::operator=(Fft3d&&) noexcept = default;
@@ -98,7 +168,7 @@ void Fft3d::execute(cplx* in, cplx* out) { engine_->execute(in, out); }
 void Fft3d::execute_inplace(cplx* data) {
   inplace_work_.resize(static_cast<std::size_t>(size()));
   engine_->execute(data, inplace_work_.data());
-  std::copy(inplace_work_.begin(), inplace_work_.end(), data);
+  inplace_copy_back(data, inplace_work_, nontemporal_);
 }
 
 const char* Fft3d::engine_name() const { return engine_->name(); }

@@ -50,6 +50,7 @@ class Fft2d {
  private:
   idx_t n_, m_;
   std::unique_ptr<MdEngine> engine_;
+  bool nontemporal_ = true;  // copy-back path of execute_inplace
   cvec inplace_work_;
 };
 
@@ -78,6 +79,7 @@ class Fft3d {
  private:
   idx_t k_, n_, m_;
   std::unique_ptr<MdEngine> engine_;
+  bool nontemporal_ = true;  // copy-back path of execute_inplace
   cvec inplace_work_;
 };
 

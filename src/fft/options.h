@@ -1,6 +1,8 @@
 // Plan options shared by all multidimensional FFT engines.
 #pragma once
 
+#include <string>
+
 #include "common/topology.h"
 #include "common/types.h"
 
@@ -25,9 +27,35 @@ enum class EngineKind {
   /// with dedicated soft-DMA data threads overlapping loads/rotated
   /// stores with the batch FFT compute (§III).
   DoubleBuffer,
+  /// Let the src/tune planner pick the engine and knobs: wisdom lookup
+  /// first, then the cost model / measurement selected by
+  /// FftOptions::tune_level. FFTW itself switches strategies per machine
+  /// (§V: slab-pencil on the AMD boxes), so the engine is a tunable too.
+  Auto,
 };
 
 const char* engine_name(EngineKind k);
+
+/// How hard the planner works when engine == EngineKind::Auto
+/// (FFTW's ESTIMATE/MEASURE/EXHAUSTIVE ladder).
+enum class TuneLevel {
+  /// Rank candidates with the bandwidth cost model only; never executes.
+  Estimate,
+  /// Time the top-K model-ranked candidates (plus the default
+  /// double-buffer config) on warm-up executes; pick the fastest.
+  Measure,
+  /// Time every candidate in the grid.
+  Exhaustive,
+};
+
+const char* tune_level_name(TuneLevel level);
+
+/// Parse an engine name — the canonical engine_name() spellings plus the
+/// CLI aliases (dbuf, stagepar, slab, auto). False on unknown names.
+bool engine_kind_from_name(const std::string& name, EngineKind* out);
+
+/// Parse a tune level name ("estimate" / "measure" / "exhaustive").
+bool tune_level_from_name(const std::string& name, TuneLevel* out);
 
 struct FftOptions {
   EngineKind engine = EngineKind::DoubleBuffer;
@@ -55,6 +83,9 @@ struct FftOptions {
   /// 1 forces the element-wise rotation of the unblocked formulas — the
   /// blocked-vs-element ablation of §III-A.
   idx_t packet_elems = 0;
+
+  /// Planner effort when engine == EngineKind::Auto (ignored otherwise).
+  TuneLevel tune_level = TuneLevel::Estimate;
 
   /// Pin team threads to the topology's suggested CPUs.
   bool pin_threads = false;

@@ -142,6 +142,9 @@ const char* counter_name(Counter c) {
     case Counter::LoadBusyNs: return "load_busy_ns";
     case Counter::ComputeBusyNs: return "compute_busy_ns";
     case Counter::StoreBusyNs: return "store_busy_ns";
+    case Counter::PlanCacheHit: return "plan_cache_hit";
+    case Counter::PlanCacheMiss: return "plan_cache_miss";
+    case Counter::TuneMeasure: return "tune_measure";
   }
   return "?";
 }

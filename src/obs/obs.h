@@ -47,8 +47,11 @@ enum class Counter : int {
   LoadBusyNs,       ///< data-thread busy time in load tasks
   ComputeBusyNs,    ///< compute-thread busy time in FFT kernels
   StoreBusyNs,      ///< data-thread busy time in rotated stores
+  PlanCacheHit,     ///< tune::PlanCache lookups served from cache
+  PlanCacheMiss,    ///< tune::PlanCache lookups that built a new plan
+  TuneMeasure,      ///< candidate configs timed by the autotuner
 };
-inline constexpr int kCounterCount = 7;
+inline constexpr int kCounterCount = 10;
 
 /// Stable snake_case name (JSON keys in BENCH_*.json use these).
 const char* counter_name(Counter c);

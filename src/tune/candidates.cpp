@@ -1,0 +1,223 @@
+#include "tune/candidates.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+#include "fft/stage.h"
+
+namespace bwfft::tune {
+
+namespace {
+
+/// Fraction of each streamed cacheline actually used when moving
+/// mu-element packets (mu = 0 means the auto cacheline packet).
+double packet_efficiency(idx_t mu) {
+  if (mu <= 0) mu = kMu;
+  const double bytes = static_cast<double>(mu) * sizeof(cplx);
+  return std::min(1.0, bytes / static_cast<double>(kCachelineBytes));
+}
+
+/// Strided pencil passes touch one element per cacheline.
+constexpr double kStridedEfficiency =
+    static_cast<double>(sizeof(cplx)) / kCachelineBytes;
+
+/// Fraction of STREAM the double-buffer pipeline sustains at a perfectly
+/// balanced split (the paper measures 74-92% of the achievable peak).
+constexpr double kOverlapEfficiency = 0.85;
+
+/// Per pipeline iteration fixed cost (barrier hand-off, task dispatch).
+constexpr double kIterationOverheadSeconds = 4e-6;
+
+}  // namespace
+
+TuneCandidate default_candidate() { return TuneCandidate{}; }
+
+FftOptions apply_candidate(const TuneCandidate& c, FftOptions base) {
+  base.engine = c.engine;
+  base.compute_threads = c.compute_threads;
+  base.block_elems = c.block_elems;
+  base.packet_elems = c.packet_elems;
+  base.nontemporal = c.nontemporal;
+  return base;
+}
+
+bool same_config(const TuneCandidate& a, const TuneCandidate& b) {
+  return a.engine == b.engine && a.compute_threads == b.compute_threads &&
+         a.block_elems == b.block_elems && a.packet_elems == b.packet_elems &&
+         a.nontemporal == b.nontemporal;
+}
+
+std::string candidate_label(const TuneCandidate& c) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s c=%d b=%lld mu=%lld nt=%d",
+                engine_name(c.engine), c.compute_threads,
+                static_cast<long long>(c.block_elems),
+                static_cast<long long>(c.packet_elems),
+                c.nontemporal ? 1 : 0);
+  return buf;
+}
+
+std::vector<TuneCandidate> enumerate_candidates(const std::vector<idx_t>& dims,
+                                                const FftOptions& req) {
+  BWFFT_CHECK(dims.size() == 2 || dims.size() == 3,
+              "tuning supports 2D and 3D transforms");
+  const int p = req.threads > 0 ? req.threads : req.topo.total_threads();
+  const idx_t m = dims.back();  // fast dimension: mu must divide it
+
+  // Axis values. A knob the caller pinned collapses to that single value.
+  std::vector<EngineKind> engines;
+  if (req.engine != EngineKind::Auto) {
+    engines = {req.engine};
+  } else {
+    engines = {EngineKind::DoubleBuffer, EngineKind::StageParallel,
+               EngineKind::Pencil};
+    if (dims.size() == 3) engines.push_back(EngineKind::SlabPencil);
+  }
+
+  std::vector<int> splits;  // double-buffer only; others ignore it
+  if (req.compute_threads >= 0) {
+    splits = {req.compute_threads};
+  } else {
+    splits = {-1};
+    // More compute threads than data threads: for compute-heavy stages
+    // the even split starves the FFT side (§IV-B discussion).
+    if (p >= 4 && (3 * p) / 4 < p) splits.push_back((3 * p) / 4);
+  }
+
+  std::vector<idx_t> blocks;
+  if (req.block_elems > 0) {
+    blocks = {req.block_elems};
+  } else {
+    blocks = {0};
+    // Half the policy block: twice the iterations, half the cache
+    // footprint — wins when the LLC is shared with the application.
+    const idx_t policy = req.topo.shared_buffer_elems() / 2;
+    const idx_t half = policy / 2;
+    if (half > 0 && half < req.topo.shared_buffer_elems()) {
+      blocks.push_back(half);
+    }
+  }
+
+  std::vector<idx_t> packets;
+  if (req.packet_elems > 0) {
+    packets = {req.packet_elems};
+  } else {
+    packets = {0};
+    // The element-wise (mu = 1) and half-cacheline variants of the
+    // §III-A ablation, only where they divide the fast dimension.
+    if (m % 2 == 0) packets.push_back(2);
+    packets.push_back(1);
+  }
+
+  const bool nt_values[] = {true, false};
+
+  std::vector<TuneCandidate> out;
+  for (EngineKind e : engines) {
+    const bool tunes_split = e == EngineKind::DoubleBuffer;
+    const bool tunes_block = e == EngineKind::DoubleBuffer;
+    const bool tunes_packet =
+        e == EngineKind::DoubleBuffer || e == EngineKind::StageParallel;
+    const bool tunes_nt =
+        e == EngineKind::DoubleBuffer || e == EngineKind::StageParallel;
+    for (int c : splits) {
+      if (!tunes_split && c != splits.front()) continue;
+      for (idx_t b : blocks) {
+        if (!tunes_block && b != blocks.front()) continue;
+        for (idx_t mu : packets) {
+          if (!tunes_packet && mu != packets.front()) continue;
+          if (mu > 0 && m % mu != 0) continue;
+          for (bool nt : nt_values) {
+            if (!tunes_nt && nt != nt_values[0]) continue;
+            TuneCandidate cand;
+            cand.engine = e;
+            cand.compute_threads = tunes_split ? c : -1;
+            cand.block_elems = tunes_block ? b : 0;
+            cand.packet_elems = tunes_packet ? mu : 0;
+            cand.nontemporal = tunes_nt ? nt : true;
+            out.push_back(cand);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double estimate_seconds(const TuneCandidate& c, const std::vector<idx_t>& dims,
+                        const MachineTopology& topo, int threads) {
+  double n = 1.0;
+  for (idx_t d : dims) n *= static_cast<double>(d);
+  const int rank = static_cast<int>(dims.size());
+  const double bw = std::max(topo.stream_bw_gbs, 1e-3) * 1e9;  // bytes/s
+  const double bytes = n * sizeof(cplx);  // one pass over the data, one way
+
+  // Store-side traffic: without NT stores every streamed line is first
+  // read for ownership, doubling the write cost (§IV-A).
+  const double write = bytes * (c.nontemporal ? 1.0 : 2.0);
+  const double mu_eff = packet_efficiency(c.packet_elems);
+
+  switch (c.engine) {
+    case EngineKind::Pencil: {
+      // Stage 0 runs at unit stride; every later dimension walks the
+      // array at its natural stride, one element per cacheline each way.
+      const double stage0 = (bytes + bytes) / bw;
+      const double strided = (bytes + bytes) / (bw * kStridedEfficiency);
+      return stage0 + (rank - 1) * strided;
+    }
+    case EngineKind::StageParallel: {
+      // Per stage: a unit-stride batch-FFT pass, then a full-array
+      // rotation whose scatter moves mu-element packets.
+      const double fft_pass = (bytes + write) / bw;
+      const double rotate_pass = bytes / bw + write / (bw * mu_eff);
+      return rank * (fft_pass + rotate_pass);
+    }
+    case EngineKind::SlabPencil: {
+      // Per-slab 2D transform (two passes over the cube) then strided z
+      // pencils. When a slab overflows the LLC the 2D stage pays its own
+      // intermediate round trip.
+      const double slab_bytes =
+          static_cast<double>(dims[1]) * static_cast<double>(dims[2]) *
+          sizeof(cplx);
+      const double slab_passes =
+          slab_bytes > static_cast<double>(topo.llc_bytes) ? 3.0 : 2.0;
+      const double slab = slab_passes * (bytes + bytes) / bw;
+      const double z = (bytes + bytes) / (bw * kStridedEfficiency);
+      return slab + z;
+    }
+    case EngineKind::DoubleBuffer: {
+      // One round trip per stage (the paper's contribution) at STREAM
+      // scaled by the overlap efficiency of the compute/data split, plus
+      // a fixed pipeline cost per block iteration.
+      const int p = threads > 0 ? threads : topo.total_threads();
+      const int pc = c.compute_threads >= 0
+                         ? std::clamp(c.compute_threads, 1, std::max(1, p - 1))
+                         : std::max(1, p / 2);
+      const double cf = static_cast<double>(pc) / p;
+      // 4 c (1 - c) is 1 at the even split and decays toward a
+      // starved-role pipeline at the extremes.
+      const double balance = std::max(0.1, 4.0 * cf * (1.0 - cf));
+      const double eff = kOverlapEfficiency * balance;
+      const idx_t block = c.block_elems > 0
+                              ? c.block_elems
+                              : std::max<idx_t>(1, topo.shared_buffer_elems() / 2);
+      const double iters =
+          std::max(1.0, n / static_cast<double>(block));
+      const double stage = (bytes / bw + write / (bw * mu_eff)) / eff +
+                           iters * kIterationOverheadSeconds;
+      return rank * stage;
+    }
+    case EngineKind::Reference:
+      // O(n^2) per dimension: model the arithmetic, not the bandwidth.
+      return [&] {
+        double cost = 0.0;
+        for (idx_t d : dims) cost += n * static_cast<double>(d);
+        return cost / 1e9;
+      }();
+    case EngineKind::Auto:
+      break;
+  }
+  throw Error("estimate_seconds: candidate engine must be concrete");
+}
+
+}  // namespace bwfft::tune

@@ -1,0 +1,130 @@
+// Thread-safe in-process plan cache — the serving-path primitive.
+//
+// Plan construction is expensive (twiddle tables, thread team spin-up,
+// and for EngineKind::Auto a whole tuning pass), so a server handling
+// many requests for the same transform must build the plan once and
+// share it. PlanCache keys plans by (dims, direction, requested
+// options — an Auto request stays keyed as Auto, so the tuning cost is
+// paid once per shape) and hands out shared_ptr<CachedPlan>; entries are
+// evicted LRU when either the plan count or the estimated byte footprint
+// exceeds the configured limits. Evicted plans stay alive for the
+// callers still holding them.
+//
+// Concurrency: lookups are serialised by one mutex, but plan
+// construction happens outside it — concurrent callers of the same key
+// wait on the entry being built instead of building duplicates, and
+// callers of other keys proceed. Cache hits and misses are counted into
+// the obs layer (plan_cache_hit / plan_cache_miss) as well as into local
+// stats.
+//
+// CachedPlan::execute serialises executions of one plan internally:
+// engines own scratch buffers and a thread team, so a shared plan must
+// not run re-entrantly. Callers wanting execute-level parallelism across
+// identical transforms should clone (acquire with distinct `variant`
+// tags) rather than share.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/types.h"
+#include "fft/engine.h"
+#include "fft/options.h"
+
+namespace bwfft::tune {
+
+/// An immutable planned transform shared between callers. Execution is
+/// internally serialised (one execute at a time per plan).
+class CachedPlan {
+ public:
+  CachedPlan(std::vector<idx_t> dims, Direction dir,
+             const FftOptions& requested);
+
+  void execute(cplx* in, cplx* out);
+  void execute_inplace(cplx* data);
+
+  const std::vector<idx_t>& dims() const { return dims_; }
+  Direction direction() const { return dir_; }
+  /// The concrete options the engine was built with (Auto resolved).
+  const FftOptions& options() const { return resolved_; }
+  const char* engine_name() const { return engine_->name(); }
+  idx_t total_elems() const { return total_; }
+
+  /// Rough resident footprint used for the cache's byte bound: the
+  /// engine's working arrays scale with the transform size (intermediate
+  /// plus shared buffer), plus a fixed allowance for twiddles and team.
+  std::size_t footprint_bytes() const;
+
+ private:
+  std::vector<idx_t> dims_;
+  Direction dir_;
+  FftOptions resolved_;
+  std::unique_ptr<MdEngine> engine_;
+  idx_t total_ = 1;
+  std::mutex exec_mu_;
+  cvec inplace_work_;  // lazily sized by execute_inplace
+};
+
+class PlanCache {
+ public:
+  struct Limits {
+    std::size_t max_plans = 32;
+    std::size_t max_bytes = std::size_t{1} << 30;  // 1 GiB of plan state
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t plans = 0;  ///< currently cached
+    std::size_t bytes = 0;  ///< estimated footprint of cached plans
+  };
+
+  PlanCache();
+  explicit PlanCache(Limits limits);
+
+  /// The shared plan for a transform, building (and possibly tuning) it
+  /// on first request. Throws what plan construction throws; waiters on
+  /// a key whose build failed retry the construction themselves and
+  /// observe the failure the same way.
+  std::shared_ptr<CachedPlan> acquire(const std::vector<idx_t>& dims,
+                                      Direction dir, FftOptions opts = {},
+                                      const std::string& variant = "");
+
+  Stats stats() const;
+  void clear();
+  void set_limits(Limits limits);
+
+  /// Process-wide cache used by callers that do not manage their own.
+  static PlanCache& global();
+
+ private:
+  struct Entry {
+    std::shared_ptr<CachedPlan> plan;  // null while building
+    bool building = true;
+    bool failed = false;
+    std::list<std::string>::iterator lru_pos;  // valid when !building
+  };
+
+  static std::string key_of(const std::vector<idx_t>& dims, Direction dir,
+                            const FftOptions& opts,
+                            const std::string& variant);
+  /// Drop LRU entries until within limits. Caller holds mu_.
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Limits limits_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace bwfft::tune

@@ -1,0 +1,57 @@
+// The planner/autotuner behind EngineKind::Auto.
+//
+// Three effort levels (FftOptions::tune_level):
+//   Estimate   — rank the candidate grid with the bandwidth cost model
+//                (candidates.h) and take the winner; never executes.
+//   Measure    — additionally time the top-K model-ranked candidates plus
+//                the default double-buffer config on warm-up executes and
+//                take the fastest measured one. Because the default
+//                config is always in the measured set, the chosen plan is
+//                never slower than the default beyond timing noise.
+//   Exhaustive — time every candidate in the grid.
+//
+// resolve_auto() is the facade entry point: wisdom first (a remembered
+// config at a sufficient level skips all measurement), then a tuning
+// pass whose result is recorded into the process-wide wisdom. The first
+// tuning pass also calibrates host_topology().stream_bw_gbs from a real
+// STREAM run (src/stream) unless a rate was already published.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "fft/options.h"
+#include "tune/candidates.h"
+
+namespace bwfft::tune {
+
+/// What the tuner did and saw — for reporting and tests.
+struct TuneReport {
+  TuneCandidate chosen;
+  /// The full grid, sorted by cost-model estimate (best first). After a
+  /// Measure/Exhaustive pass the measured_seconds of timed entries are
+  /// filled in.
+  std::vector<TuneCandidate> candidates;
+  bool from_wisdom = false;  ///< wisdom hit: no ranking, no measuring
+  int measured_count = 0;    ///< candidate configs actually executed
+  double stream_bw_gbs = 0.0;  ///< bandwidth the cost model used
+};
+
+/// Make sure host_topology() reports a measured STREAM bandwidth: runs
+/// src/stream once and publishes the rate unless one was already
+/// calibrated. Returns the bandwidth in effect.
+double ensure_bandwidth_calibrated();
+
+/// One full tuning pass (enumerate, estimate, measure per `req.tune_level`,
+/// choose). Ignores and does not touch wisdom.
+TuneReport tune_transform(const std::vector<idx_t>& dims, Direction dir,
+                          const FftOptions& req);
+
+/// Resolve EngineKind::Auto to concrete options: wisdom lookup first
+/// (a hit at >= the requested level is reused verbatim), else a
+/// tune_transform pass recorded into the global wisdom. The returned
+/// options never carry EngineKind::Auto.
+FftOptions resolve_auto(const std::vector<idx_t>& dims, Direction dir,
+                        const FftOptions& req, TuneReport* report = nullptr);
+
+}  // namespace bwfft::tune

@@ -1,0 +1,104 @@
+// Persistent planner wisdom — best-known configs per transform shape.
+//
+// FFTW-style: tuning is expensive (Measure executes candidate plans), so
+// its result is remembered, keyed by (dims, direction, topology
+// fingerprint), and can be serialized to a JSON file that survives the
+// process. A wisdom-warmed plan construction skips measurement entirely.
+// Files written by other machines merge harmlessly: the fingerprint keeps
+// their entries from being applied here.
+//
+// Schema ("bwfft-wisdom-v1"):
+//   {"schema": "bwfft-wisdom-v1",
+//    "entries": [{"dims": [64,64,64], "dir": "forward",
+//                 "fingerprint": "s1c8t1llc33554432",
+//                 "engine": "double-buffer", "compute_threads": -1,
+//                 "block_elems": 0, "packet_elems": 0,
+//                 "nontemporal": true, "seconds": 1.2e-3,
+//                 "level": "measure"}]}
+//
+// Loading tolerates damage: a malformed document fails the load without
+// touching the in-memory store; malformed *entries* inside a valid
+// document are skipped individually, so one corrupt line cannot poison
+// the rest of the file.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchutil/json.h"
+#include "common/topology.h"
+#include "common/types.h"
+#include "fft/options.h"
+#include "tune/candidates.h"
+
+namespace bwfft::tune {
+
+inline constexpr const char* kWisdomSchemaName = "bwfft-wisdom-v1";
+
+/// A remembered configuration: the candidate knobs plus how it was
+/// obtained (tune level, measured time when the level executed plans).
+struct WisdomEntry {
+  std::vector<idx_t> dims;
+  Direction dir = Direction::Forward;
+  std::string fingerprint;
+  TuneCandidate config;
+  double seconds = 0.0;  ///< measured wall time; 0 = estimate-only
+  TuneLevel level = TuneLevel::Estimate;
+};
+
+/// Key machines by what the planner depends on, not by name: socket /
+/// core / SMT counts and LLC size. Bandwidth is deliberately excluded —
+/// it varies a few percent run to run and would fracture the store.
+std::string topology_fingerprint(const MachineTopology& topo);
+
+/// In-memory wisdom store. Not internally synchronized; the process-wide
+/// instance behind the global_wisdom_* helpers below is.
+class Wisdom {
+ public:
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Best-known entry for a transform shape; nullptr when unknown.
+  const WisdomEntry* lookup(const std::vector<idx_t>& dims, Direction dir,
+                            const std::string& fingerprint) const;
+
+  /// Remember an entry. An existing entry for the same key is replaced
+  /// only by deeper wisdom: a higher tune level, or the same level with a
+  /// faster measured time.
+  void record(const WisdomEntry& entry);
+
+  /// Record every entry of `other` (same replace-only-with-better rule).
+  void merge(const Wisdom& other);
+
+  Json to_json() const;
+
+  /// Parse `doc` and merge its entries into this store. A document that
+  /// is not wisdom-shaped fails with *err and leaves the store untouched;
+  /// individually malformed entries are skipped (their count is added to
+  /// *skipped when given).
+  bool from_json(const Json& doc, std::string* err, int* skipped = nullptr);
+
+  /// load_file merges `path` into this store with from_json's tolerance;
+  /// a missing or unreadable file and a corrupt document both return
+  /// false with a diagnostic, leaving the store untouched.
+  bool load_file(const std::string& path, std::string* err,
+                 int* skipped = nullptr);
+  bool save_file(const std::string& path, std::string* err) const;
+
+ private:
+  static std::string key(const std::vector<idx_t>& dims, Direction dir,
+                         const std::string& fingerprint);
+  std::map<std::string, WisdomEntry> entries_;
+};
+
+/// Process-wide wisdom shared by every EngineKind::Auto resolution (a
+/// mutex serialises access; safe from concurrent plan constructions).
+bool global_wisdom_lookup(const std::vector<idx_t>& dims, Direction dir,
+                          const std::string& fingerprint, WisdomEntry* out);
+void global_wisdom_record(const WisdomEntry& entry);
+void global_wisdom_merge(const Wisdom& other);
+Wisdom global_wisdom_snapshot();
+void global_wisdom_clear();
+
+}  // namespace bwfft::tune

@@ -1,8 +1,11 @@
-// Tests for the public facade: in-place execution, engine naming, option
-// validation and error paths.
+// Tests for the public facade: in-place execution, engine naming, move
+// semantics, option validation and error paths.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/rng.h"
+#include "common/topology.h"
 #include "fft/fft.h"
 #include "fft/reference.h"
 #include "fft/stage.h"
@@ -49,9 +52,91 @@ TEST(Facade, EngineNames) {
   EXPECT_STREQ("stage-parallel", engine_name(EngineKind::StageParallel));
   EXPECT_STREQ("slab-pencil", engine_name(EngineKind::SlabPencil));
   EXPECT_STREQ("double-buffer", engine_name(EngineKind::DoubleBuffer));
+  EXPECT_STREQ("auto", engine_name(EngineKind::Auto));
 
   Fft3d plan(4, 4, 4, Direction::Forward, {});
   EXPECT_STREQ("double-buffer", plan.engine_name());
+}
+
+TEST(Facade, EngineAndLevelParsing) {
+  EngineKind kind;
+  EXPECT_TRUE(engine_kind_from_name("double-buffer", &kind));
+  EXPECT_EQ(EngineKind::DoubleBuffer, kind);
+  EXPECT_TRUE(engine_kind_from_name("dbuf", &kind));
+  EXPECT_EQ(EngineKind::DoubleBuffer, kind);
+  EXPECT_TRUE(engine_kind_from_name("auto", &kind));
+  EXPECT_EQ(EngineKind::Auto, kind);
+  EXPECT_FALSE(engine_kind_from_name("warp-drive", &kind));
+
+  TuneLevel level;
+  EXPECT_TRUE(tune_level_from_name("measure", &level));
+  EXPECT_EQ(TuneLevel::Measure, level);
+  EXPECT_FALSE(tune_level_from_name("MEASURE", &level));
+  EXPECT_STREQ("exhaustive", tune_level_name(TuneLevel::Exhaustive));
+}
+
+TEST(Facade, AutoEngineResolvesThroughTheFacade) {
+  calibrate_host_bandwidth(25.0);  // keep the planner off real STREAM runs
+  const idx_t n = 16, m = 16;
+  auto x = random_cvec(n * m, 9104);
+  cvec want(x.size());
+  reference_dft_2d(x.data(), want.data(), n, m, Direction::Forward);
+  FftOptions o;
+  o.engine = EngineKind::Auto;
+  o.tune_level = TuneLevel::Estimate;
+  o.threads = 2;
+  Fft2d plan(n, m, Direction::Forward, o);
+  EXPECT_STRNE("auto", plan.engine_name());
+  cvec in = x, out(x.size());
+  plan.execute(in.data(), out.data());
+  EXPECT_LT(max_err(want, out), fft_tol(static_cast<double>(n * m)));
+}
+
+TEST(Facade, Fft2dIsMovable) {
+  const idx_t n = 8, m = 16;
+  auto x = random_cvec(n * m, 9105);
+  cvec want(x.size());
+  reference_dft_2d(x.data(), want.data(), n, m, Direction::Forward);
+
+  Fft2d plan(n, m, Direction::Forward, {});
+  cvec data = x;
+  plan.execute_inplace(data.data());  // allocates the work buffer pre-move
+
+  Fft2d moved(std::move(plan));
+  EXPECT_EQ(n, moved.rows());
+  EXPECT_EQ(m, moved.cols());
+  EXPECT_STREQ("double-buffer", moved.engine_name());
+  cvec data2 = x;
+  moved.execute_inplace(data2.data());
+  EXPECT_LT(max_err(want, data2), fft_tol(static_cast<double>(n * m)));
+
+  Fft2d assigned(4, 8, Direction::Forward, {});
+  assigned = std::move(moved);
+  EXPECT_EQ(n, assigned.rows());
+  cvec in = x, out(x.size());
+  assigned.execute(in.data(), out.data());
+  EXPECT_LT(max_err(want, out), fft_tol(static_cast<double>(n * m)));
+}
+
+TEST(Facade, Fft3dIsMovable) {
+  const idx_t k = 4, n = 8, m = 8;
+  auto x = random_cvec(k * n * m, 9106);
+  cvec want(x.size());
+  reference_dft_3d(x.data(), want.data(), k, n, m, Direction::Forward);
+
+  Fft3d plan(k, n, m, Direction::Forward, {});
+  Fft3d moved(std::move(plan));
+  EXPECT_EQ(k * n * m, moved.size());
+  cvec in = x, out(x.size());
+  moved.execute(in.data(), out.data());
+  EXPECT_LT(max_err(want, out), fft_tol(static_cast<double>(k * n * m)));
+
+  Fft3d assigned(2, 4, 4, Direction::Forward, {});
+  assigned = std::move(moved);
+  EXPECT_EQ(m, assigned.dim2());
+  cvec data = x;
+  assigned.execute_inplace(data.data());
+  EXPECT_LT(max_err(want, data), fft_tol(static_cast<double>(k * n * m)));
 }
 
 TEST(Facade, ReferenceEngineThroughFacade) {

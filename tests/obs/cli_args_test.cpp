@@ -123,12 +123,52 @@ TEST(ParseArgs, RejectsUnknownFlagsAndEngines) {
 TEST(ParseArgs, AcceptsEveryEngineSpelling) {
   for (const char* name :
        {"dbuf", "double-buffer", "stagepar", "stage-parallel", "slab",
-        "slab-pencil", "pencil", "reference"}) {
+        "slab-pencil", "pencil", "reference", "auto"}) {
     Options o;
     std::string err;
     EXPECT_TRUE(parse_args({"--engine", name}, &o, &err)) << name;
     EXPECT_EQ(name, o.engine);
   }
+}
+
+TEST(ParseArgs, TuneFlagSelectsTheAutoEngine) {
+  for (const char* level : {"estimate", "measure", "exhaustive"}) {
+    Options o;
+    std::string err;
+    ASSERT_TRUE(parse_args({"--tune", level}, &o, &err)) << err;
+    EXPECT_EQ(level, o.tune);
+    EXPECT_EQ("auto", o.engine);  // --tune implies the planner
+  }
+  // Flag order must not matter for the engine override.
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse_args({"--tune", "measure", "--engine", "auto"}, &o, &err));
+  EXPECT_EQ("auto", o.engine);
+  ASSERT_TRUE(parse_args({"--engine", "auto", "--tune", "measure"}, &o, &err));
+  EXPECT_EQ("auto", o.engine);
+}
+
+TEST(ParseArgs, TuneConflictsAndBadLevelsAreRejected) {
+  Options o;
+  std::string err;
+  EXPECT_FALSE(parse_args({"--tune", "fast"}, &o, &err));
+  EXPECT_NE(std::string::npos, err.find("fast"));
+  EXPECT_FALSE(parse_args({"--tune"}, &o, &err));  // missing value
+  // A deliberate non-auto engine contradicts --tune, in either order.
+  EXPECT_FALSE(
+      parse_args({"--engine", "pencil", "--tune", "estimate"}, &o, &err));
+  EXPECT_NE(std::string::npos, err.find("--engine auto"));
+  EXPECT_FALSE(
+      parse_args({"--tune", "estimate", "--engine", "pencil"}, &o, &err));
+}
+
+TEST(ParseArgs, WisdomPathIsCaptured) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse_args({"--wisdom", "w.json"}, &o, &err)) << err;
+  EXPECT_EQ("w.json", o.wisdom_path);
+  EXPECT_FALSE(parse_args({"--wisdom"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--wisdom", ""}, &o, &err));
 }
 
 }  // namespace

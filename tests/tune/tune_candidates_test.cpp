@@ -1,0 +1,154 @@
+// Tests for the tuning candidate grid and the bandwidth cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/topology.h"
+#include "tune/candidates.h"
+
+namespace bwfft::tune {
+namespace {
+
+FftOptions auto_request() {
+  FftOptions req;
+  req.engine = EngineKind::Auto;
+  return req;
+}
+
+bool contains_engine(const std::vector<TuneCandidate>& grid, EngineKind e) {
+  return std::any_of(grid.begin(), grid.end(),
+                     [&](const TuneCandidate& c) { return c.engine == e; });
+}
+
+TEST(Candidates, GridCoversEnginesPerRank) {
+  const auto grid3 = enumerate_candidates({64, 64, 64}, auto_request());
+  EXPECT_TRUE(contains_engine(grid3, EngineKind::DoubleBuffer));
+  EXPECT_TRUE(contains_engine(grid3, EngineKind::StageParallel));
+  EXPECT_TRUE(contains_engine(grid3, EngineKind::Pencil));
+  EXPECT_TRUE(contains_engine(grid3, EngineKind::SlabPencil));
+  EXPECT_FALSE(contains_engine(grid3, EngineKind::Reference));
+  EXPECT_FALSE(contains_engine(grid3, EngineKind::Auto));
+
+  const auto grid2 = enumerate_candidates({256, 256}, auto_request());
+  EXPECT_FALSE(contains_engine(grid2, EngineKind::SlabPencil));
+  EXPECT_TRUE(contains_engine(grid2, EngineKind::DoubleBuffer));
+}
+
+TEST(Candidates, GridContainsTheDefaultConfig) {
+  const auto grid = enumerate_candidates({64, 64, 64}, auto_request());
+  const TuneCandidate def = default_candidate();
+  EXPECT_TRUE(std::any_of(
+      grid.begin(), grid.end(),
+      [&](const TuneCandidate& c) { return same_config(c, def); }));
+}
+
+TEST(Candidates, PinnedKnobsCollapseTheirAxis) {
+  FftOptions req = auto_request();
+  req.packet_elems = 2;
+  const auto grid = enumerate_candidates({64, 64}, req);
+  for (const TuneCandidate& c : grid) {
+    if (c.engine == EngineKind::DoubleBuffer ||
+        c.engine == EngineKind::StageParallel) {
+      EXPECT_EQ(2, c.packet_elems) << candidate_label(c);
+    }
+  }
+
+  FftOptions pinned_engine = auto_request();
+  pinned_engine.engine = EngineKind::StageParallel;
+  for (const TuneCandidate& c :
+       enumerate_candidates({64, 64}, pinned_engine)) {
+    EXPECT_EQ(EngineKind::StageParallel, c.engine);
+  }
+}
+
+TEST(Candidates, PacketCandidatesDivideTheFastDimension) {
+  // m = 15 is odd: the mu = 2 variant must not be enumerated.
+  const auto grid = enumerate_candidates({32, 15}, auto_request());
+  for (const TuneCandidate& c : grid) {
+    EXPECT_NE(2, c.packet_elems) << candidate_label(c);
+    if (c.packet_elems > 0) {
+      EXPECT_EQ(0, 15 % c.packet_elems);
+    }
+  }
+}
+
+TEST(Candidates, OnlyTwoAndThreeDimensionalShapes) {
+  EXPECT_THROW(enumerate_candidates({64}, auto_request()), Error);
+  EXPECT_THROW(enumerate_candidates({4, 4, 4, 4}, auto_request()), Error);
+}
+
+TEST(Candidates, ApplyCandidateCopiesKnobs) {
+  TuneCandidate c;
+  c.engine = EngineKind::StageParallel;
+  c.compute_threads = 3;
+  c.block_elems = 4096;
+  c.packet_elems = 2;
+  c.nontemporal = false;
+  FftOptions base;
+  base.threads = 7;  // untouched by the candidate
+  const FftOptions got = apply_candidate(c, base);
+  EXPECT_EQ(EngineKind::StageParallel, got.engine);
+  EXPECT_EQ(3, got.compute_threads);
+  EXPECT_EQ(4096, got.block_elems);
+  EXPECT_EQ(2, got.packet_elems);
+  EXPECT_FALSE(got.nontemporal);
+  EXPECT_EQ(7, got.threads);
+}
+
+TEST(Candidates, SameConfigIgnoresResults) {
+  TuneCandidate a = default_candidate(), b = default_candidate();
+  a.est_seconds = 1.0;
+  b.measured_seconds = 2.0;
+  EXPECT_TRUE(same_config(a, b));
+  b.nontemporal = false;
+  EXPECT_FALSE(same_config(a, b));
+}
+
+TEST(CostModel, GrowsWithProblemSize) {
+  const MachineTopology topo = machines::kabylake_7700k();
+  const TuneCandidate c = default_candidate();
+  const double small = estimate_seconds(c, {64, 64, 64}, topo, 0);
+  const double large = estimate_seconds(c, {128, 128, 128}, topo, 0);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 2.0 * small);  // 8x the data must cost well over 2x
+}
+
+TEST(CostModel, WriteAllocatePenalisesTemporalStores) {
+  const MachineTopology topo = machines::kabylake_7700k();
+  TuneCandidate nt = default_candidate();
+  TuneCandidate wa = default_candidate();
+  wa.nontemporal = false;
+  EXPECT_GT(estimate_seconds(wa, {256, 256, 256}, topo, 0),
+            estimate_seconds(nt, {256, 256, 256}, topo, 0));
+}
+
+TEST(CostModel, StridedPencilCostsMoreThanDoubleBuffer) {
+  const MachineTopology topo = machines::kabylake_7700k();
+  TuneCandidate pencil;
+  pencil.engine = EngineKind::Pencil;
+  EXPECT_GT(estimate_seconds(pencil, {256, 256, 256}, topo, 0),
+            estimate_seconds(default_candidate(), {256, 256, 256}, topo, 0));
+}
+
+TEST(CostModel, ScalesWithBandwidth) {
+  MachineTopology slow = machines::kabylake_7700k();
+  MachineTopology fast = slow;
+  fast.stream_bw_gbs = 2.0 * slow.stream_bw_gbs;
+  TuneCandidate pencil;  // pure-bandwidth engine: no iteration overhead
+  pencil.engine = EngineKind::Pencil;
+  const double t_slow = estimate_seconds(pencil, {128, 128, 128}, slow, 0);
+  const double t_fast = estimate_seconds(pencil, {128, 128, 128}, fast, 0);
+  EXPECT_NEAR(t_slow / 2.0, t_fast, 1e-12);
+}
+
+TEST(CostModel, LabelNamesTheEngine) {
+  TuneCandidate c = default_candidate();
+  EXPECT_NE(std::string::npos, candidate_label(c).find("double-buffer"));
+  c.engine = EngineKind::SlabPencil;
+  EXPECT_NE(std::string::npos, candidate_label(c).find("slab-pencil"));
+}
+
+}  // namespace
+}  // namespace bwfft::tune

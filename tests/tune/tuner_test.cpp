@@ -1,0 +1,155 @@
+// Tests for the planner/autotuner behind EngineKind::Auto: the
+// Estimate/Measure ladder, the never-worse-than-default guarantee and
+// wisdom-warmed resolution that skips measurement entirely.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/topology.h"
+#include "obs/obs.h"
+#include "tune/tuner.h"
+#include "tune/wisdom.h"
+
+namespace bwfft::tune {
+namespace {
+
+// Every test pins a calibrated bandwidth up front so the tuner never
+// pays for a real STREAM run, and starts from empty wisdom.
+class TunerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    calibrate_host_bandwidth(30.0);
+    global_wisdom_clear();
+  }
+};
+
+FftOptions auto_opts(TuneLevel level) {
+  FftOptions o;
+  o.engine = EngineKind::Auto;
+  o.tune_level = level;
+  o.threads = 4;
+  return o;
+}
+
+TEST_F(TunerTest, BandwidthCalibrationSticks) {
+  EXPECT_TRUE(host_bandwidth_calibrated());
+  EXPECT_EQ(30.0, ensure_bandwidth_calibrated());
+  EXPECT_EQ(30.0, host_topology().stream_bw_gbs);
+}
+
+TEST_F(TunerTest, EstimateResolvesConcreteWithoutExecuting) {
+  TuneReport report;
+  const FftOptions resolved =
+      resolve_auto({32, 32}, Direction::Forward, auto_opts(TuneLevel::Estimate),
+                   &report);
+  EXPECT_NE(EngineKind::Auto, resolved.engine);
+  EXPECT_FALSE(report.from_wisdom);
+  EXPECT_EQ(0, report.measured_count);
+  ASSERT_FALSE(report.candidates.empty());
+  // Candidates come back ranked by the cost model, best first, and the
+  // chosen config is the front of that ranking.
+  EXPECT_TRUE(std::is_sorted(
+      report.candidates.begin(), report.candidates.end(),
+      [](const TuneCandidate& a, const TuneCandidate& b) {
+        return a.est_seconds < b.est_seconds;
+      }));
+  EXPECT_TRUE(same_config(report.chosen, report.candidates.front()));
+}
+
+TEST_F(TunerTest, MeasureNeverLosesToTheDefaultConfig) {
+  TuneReport report;
+  resolve_auto({16, 16, 16}, Direction::Forward, auto_opts(TuneLevel::Measure),
+               &report);
+  EXPECT_FALSE(report.from_wisdom);
+  EXPECT_GT(report.measured_count, 0);
+  EXPECT_GE(report.chosen.measured_seconds, 0.0);
+
+  // The untouched double-buffer default is always in the measured set,
+  // so the winner is at worst the default (acceptance criterion).
+  const TuneCandidate def = default_candidate();
+  const auto it = std::find_if(
+      report.candidates.begin(), report.candidates.end(),
+      [&](const TuneCandidate& c) { return same_config(c, def); });
+  ASSERT_NE(report.candidates.end(), it);
+  ASSERT_GE(it->measured_seconds, 0.0);
+  EXPECT_LE(report.chosen.measured_seconds, it->measured_seconds);
+}
+
+TEST_F(TunerTest, WisdomWarmedResolutionSkipsMeasurement) {
+  const std::vector<idx_t> dims{16, 16, 16};
+  TuneReport first;
+  const FftOptions a =
+      resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Measure),
+                   &first);
+  EXPECT_FALSE(first.from_wisdom);
+  EXPECT_GT(first.measured_count, 0);
+
+#if defined(BWFFT_OBS)
+  obs::reset_counters();
+#endif
+  TuneReport second;
+  const FftOptions b =
+      resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Measure),
+                   &second);
+  EXPECT_TRUE(second.from_wisdom);
+  EXPECT_EQ(0, second.measured_count);
+  // Identical configuration, and provably no candidate was executed.
+  EXPECT_TRUE(same_config(first.chosen, second.chosen));
+  EXPECT_EQ(a.engine, b.engine);
+  EXPECT_EQ(a.compute_threads, b.compute_threads);
+  EXPECT_EQ(a.block_elems, b.block_elems);
+  EXPECT_EQ(a.packet_elems, b.packet_elems);
+  EXPECT_EQ(a.nontemporal, b.nontemporal);
+#if defined(BWFFT_OBS)
+  EXPECT_EQ(0u, obs::counter_total(obs::Counter::TuneMeasure));
+#endif
+}
+
+TEST_F(TunerTest, ShallowWisdomDoesNotSatisfyDeeperRequests) {
+  const std::vector<idx_t> dims{32, 32};
+  resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Estimate));
+
+  // Estimate-level wisdom must not short-circuit a Measure request...
+  TuneReport measure;
+  resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Measure),
+               &measure);
+  EXPECT_FALSE(measure.from_wisdom);
+  EXPECT_GT(measure.measured_count, 0);
+
+  // ...but the recorded Measure result now satisfies Estimate requests.
+  TuneReport estimate;
+  resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Estimate),
+               &estimate);
+  EXPECT_TRUE(estimate.from_wisdom);
+  EXPECT_TRUE(same_config(measure.chosen, estimate.chosen));
+}
+
+TEST_F(TunerTest, WisdomIsKeyedByDirection) {
+  const std::vector<idx_t> dims{32, 32};
+  resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Estimate));
+  TuneReport inverse;
+  resolve_auto(dims, Direction::Inverse, auto_opts(TuneLevel::Estimate),
+               &inverse);
+  EXPECT_FALSE(inverse.from_wisdom);
+}
+
+TEST_F(TunerTest, PinnedEngineRestrictsTheGrid) {
+  FftOptions req = auto_opts(TuneLevel::Estimate);
+  req.engine = EngineKind::Auto;
+  TuneReport report = tune_transform({32, 32}, Direction::Forward, req);
+  EXPECT_GT(report.candidates.size(), 1u);
+
+  req.compute_threads = 2;  // pinning a knob shrinks the grid
+  const TuneReport pinned =
+      tune_transform({32, 32}, Direction::Forward, req);
+  EXPECT_LT(pinned.candidates.size(), report.candidates.size());
+  for (const TuneCandidate& c : pinned.candidates) {
+    if (c.engine == EngineKind::DoubleBuffer) {
+      EXPECT_EQ(2, c.compute_threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwfft::tune

@@ -1,0 +1,238 @@
+// Tests for persistent planner wisdom: the replace-only-with-better
+// store, JSON round-tripping, file I/O tolerance and the process-wide
+// instance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchutil/json.h"
+#include "common/topology.h"
+#include "tune/wisdom.h"
+
+namespace bwfft::tune {
+namespace {
+
+WisdomEntry entry(std::vector<idx_t> dims, Direction dir, TuneLevel level,
+                  double seconds, EngineKind engine = EngineKind::DoubleBuffer) {
+  WisdomEntry e;
+  e.dims = std::move(dims);
+  e.dir = dir;
+  e.fingerprint = "s1c4t2llc8388608";
+  e.config.engine = engine;
+  e.seconds = seconds;
+  e.level = level;
+  return e;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Wisdom, FingerprintEncodesTopologyNotBandwidth) {
+  MachineTopology a = machines::kabylake_7700k();
+  MachineTopology b = a;
+  b.stream_bw_gbs = 999.0;  // bandwidth varies run to run; must not key
+  EXPECT_EQ(topology_fingerprint(a), topology_fingerprint(b));
+  b.cores_per_socket += 1;
+  EXPECT_NE(topology_fingerprint(a), topology_fingerprint(b));
+}
+
+TEST(Wisdom, RecordAndLookup) {
+  Wisdom w;
+  EXPECT_EQ(nullptr, w.lookup({64, 64}, Direction::Forward, "fp"));
+  WisdomEntry e = entry({64, 64}, Direction::Forward, TuneLevel::Measure,
+                        1e-3);
+  e.fingerprint = "fp";
+  w.record(e);
+  ASSERT_EQ(1u, w.size());
+  const WisdomEntry* got = w.lookup({64, 64}, Direction::Forward, "fp");
+  ASSERT_NE(nullptr, got);
+  EXPECT_EQ(TuneLevel::Measure, got->level);
+  EXPECT_EQ(EngineKind::DoubleBuffer, got->config.engine);
+  // Direction, dims and fingerprint all participate in the key.
+  EXPECT_EQ(nullptr, w.lookup({64, 64}, Direction::Inverse, "fp"));
+  EXPECT_EQ(nullptr, w.lookup({64, 32}, Direction::Forward, "fp"));
+  EXPECT_EQ(nullptr, w.lookup({64, 64}, Direction::Forward, "other"));
+}
+
+TEST(Wisdom, OnlyDeeperWisdomReplaces) {
+  Wisdom w;
+  w.record(entry({32, 32}, Direction::Forward, TuneLevel::Measure, 2e-3));
+
+  // A lower level never replaces, even with a "better" time.
+  w.record(entry({32, 32}, Direction::Forward, TuneLevel::Estimate, 1e-9,
+                 EngineKind::Pencil));
+  const WisdomEntry* got =
+      w.lookup({32, 32}, Direction::Forward, "s1c4t2llc8388608");
+  ASSERT_NE(nullptr, got);
+  EXPECT_EQ(TuneLevel::Measure, got->level);
+  EXPECT_EQ(EngineKind::DoubleBuffer, got->config.engine);
+
+  // Same level, faster measurement replaces.
+  w.record(entry({32, 32}, Direction::Forward, TuneLevel::Measure, 1e-3,
+                 EngineKind::StageParallel));
+  got = w.lookup({32, 32}, Direction::Forward, "s1c4t2llc8388608");
+  EXPECT_EQ(EngineKind::StageParallel, got->config.engine);
+  EXPECT_EQ(1e-3, got->seconds);
+
+  // Same level, slower measurement does not.
+  w.record(entry({32, 32}, Direction::Forward, TuneLevel::Measure, 5e-3));
+  got = w.lookup({32, 32}, Direction::Forward, "s1c4t2llc8388608");
+  EXPECT_EQ(EngineKind::StageParallel, got->config.engine);
+
+  // A higher level always replaces.
+  w.record(entry({32, 32}, Direction::Forward, TuneLevel::Exhaustive, 9e-3));
+  got = w.lookup({32, 32}, Direction::Forward, "s1c4t2llc8388608");
+  EXPECT_EQ(TuneLevel::Exhaustive, got->level);
+  EXPECT_EQ(1u, w.size());
+}
+
+TEST(Wisdom, MergeAppliesTheSameRule) {
+  Wisdom a, b;
+  a.record(entry({64, 64}, Direction::Forward, TuneLevel::Measure, 2e-3));
+  b.record(entry({64, 64}, Direction::Forward, TuneLevel::Measure, 1e-3,
+                 EngineKind::SlabPencil));
+  b.record(entry({16, 16, 16}, Direction::Inverse, TuneLevel::Estimate, 0.0));
+  a.merge(b);
+  EXPECT_EQ(2u, a.size());
+  const WisdomEntry* got =
+      a.lookup({64, 64}, Direction::Forward, "s1c4t2llc8388608");
+  ASSERT_NE(nullptr, got);
+  EXPECT_EQ(EngineKind::SlabPencil, got->config.engine);
+}
+
+TEST(Wisdom, JsonRoundTrip) {
+  Wisdom w;
+  WisdomEntry e = entry({64, 32, 16}, Direction::Inverse, TuneLevel::Measure,
+                        3.25e-3, EngineKind::StageParallel);
+  e.config.compute_threads = 6;
+  e.config.block_elems = 8192;
+  e.config.packet_elems = 2;
+  e.config.nontemporal = false;
+  w.record(e);
+  w.record(entry({128, 128}, Direction::Forward, TuneLevel::Estimate, 0.0));
+
+  const Json doc = w.to_json();
+  Wisdom back;
+  std::string err;
+  int skipped = -1;
+  ASSERT_TRUE(back.from_json(doc, &err, &skipped)) << err;
+  EXPECT_EQ(0, skipped);
+  ASSERT_EQ(2u, back.size());
+  const WisdomEntry* got =
+      back.lookup({64, 32, 16}, Direction::Inverse, e.fingerprint);
+  ASSERT_NE(nullptr, got);
+  EXPECT_EQ(EngineKind::StageParallel, got->config.engine);
+  EXPECT_EQ(6, got->config.compute_threads);
+  EXPECT_EQ(8192, got->config.block_elems);
+  EXPECT_EQ(2, got->config.packet_elems);
+  EXPECT_FALSE(got->config.nontemporal);
+  EXPECT_EQ(3.25e-3, got->seconds);
+  EXPECT_EQ(TuneLevel::Measure, got->level);
+}
+
+TEST(Wisdom, WrongSchemaFailsWithoutTouchingTheStore) {
+  Wisdom w;
+  w.record(entry({8, 8}, Direction::Forward, TuneLevel::Estimate, 0.0));
+  Json doc = Json::object();
+  doc.set("schema", "not-wisdom");
+  doc.set("entries", Json::array());
+  std::string err;
+  EXPECT_FALSE(w.from_json(doc, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(1u, w.size());
+  EXPECT_FALSE(w.from_json(Json(), &err));
+}
+
+TEST(Wisdom, MalformedEntriesAreSkippedIndividually) {
+  Wisdom good;
+  good.record(entry({64, 64}, Direction::Forward, TuneLevel::Measure, 1e-3));
+  const Json good_doc = good.to_json();
+  const Json* good_entries = good_doc.find("entries");
+  ASSERT_NE(nullptr, good_entries);
+  ASSERT_EQ(1u, good_entries->size());
+  const Json good_entry = (*good_entries)[0];
+
+  // One valid entry plus damage: a non-object, an entry with bad dims,
+  // an entry whose engine is "auto" (never valid wisdom).
+  Json broken_dims = Json::object();
+  broken_dims.set("dims", Json::array());
+  Json auto_engine = good_entry;
+  auto_engine.set("engine", "auto");
+  Json entries = Json::array();
+  entries.push_back(good_entry);
+  entries.push_back(Json("not an object"));
+  entries.push_back(std::move(broken_dims));
+  entries.push_back(std::move(auto_engine));
+  Json doc = Json::object();
+  doc.set("schema", kWisdomSchemaName);
+  doc.set("entries", std::move(entries));
+
+  Wisdom w;
+  std::string err;
+  int skipped = 0;
+  ASSERT_TRUE(w.from_json(doc, &err, &skipped)) << err;
+  EXPECT_EQ(3, skipped);
+  EXPECT_EQ(1u, w.size());
+}
+
+TEST(Wisdom, FileRoundTripAndCorruptFileTolerance) {
+  const std::string path = temp_path("wisdom_roundtrip.json");
+  Wisdom w;
+  w.record(entry({64, 64, 64}, Direction::Forward, TuneLevel::Exhaustive,
+                 4e-3));
+  std::string err;
+  ASSERT_TRUE(w.save_file(path, &err)) << err;
+
+  Wisdom back;
+  int skipped = -1;
+  ASSERT_TRUE(back.load_file(path, &err, &skipped)) << err;
+  EXPECT_EQ(0, skipped);
+  ASSERT_EQ(1u, back.size());
+  const WisdomEntry* got =
+      back.lookup({64, 64, 64}, Direction::Forward, "s1c4t2llc8388608");
+  ASSERT_NE(nullptr, got);
+  EXPECT_EQ(TuneLevel::Exhaustive, got->level);
+
+  // Missing file: diagnostic, no throw, store untouched.
+  EXPECT_FALSE(back.load_file(temp_path("does_not_exist.json"), &err));
+  EXPECT_EQ(1u, back.size());
+
+  // Corrupt file: same.
+  const std::string bad = temp_path("wisdom_corrupt.json");
+  std::FILE* f = std::fopen(bad.c_str(), "wb");
+  ASSERT_NE(nullptr, f);
+  std::fputs("{\"schema\": \"bwfft-wisdom-v1\", \"entries\": [truncated", f);
+  std::fclose(f);
+  EXPECT_FALSE(back.load_file(bad, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(1u, back.size());
+}
+
+TEST(Wisdom, GlobalStoreRoundTrip) {
+  global_wisdom_clear();
+  WisdomEntry out;
+  EXPECT_FALSE(
+      global_wisdom_lookup({48, 48}, Direction::Forward, "gfp", &out));
+
+  WisdomEntry e = entry({48, 48}, Direction::Forward, TuneLevel::Measure,
+                        2e-3);
+  e.fingerprint = "gfp";
+  global_wisdom_record(e);
+  ASSERT_TRUE(
+      global_wisdom_lookup({48, 48}, Direction::Forward, "gfp", &out));
+  EXPECT_EQ(TuneLevel::Measure, out.level);
+
+  Wisdom extra;
+  extra.record(entry({24, 24}, Direction::Inverse, TuneLevel::Estimate, 0.0));
+  global_wisdom_merge(extra);
+  EXPECT_EQ(2u, global_wisdom_snapshot().size());
+
+  global_wisdom_clear();
+  EXPECT_EQ(0u, global_wisdom_snapshot().size());
+}
+
+}  // namespace
+}  // namespace bwfft::tune

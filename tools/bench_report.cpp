@@ -50,6 +50,8 @@ bool report_file(const char* path) {
   std::printf("  %-14s %-14s %10s %10s %7s  stages\n", "engine", "dims",
               "best ms", "GF/s", "%peak");
   for (const BenchRow& row : rep.rows) {
+    std::string engine = row.engine;
+    if (!row.resolved.empty()) engine += "->" + row.resolved;
     std::string dims;
     for (std::size_t i = 0; i < row.dims.size(); ++i) {
       dims += (i ? "x" : "") + std::to_string(row.dims[i]);
@@ -63,7 +65,7 @@ bool report_file(const char* path) {
       stages += sb;
     }
     std::printf("  %-14s %-14s %10.3f %10.2f %6.1f%%  %s\n",
-                row.engine.c_str(), dims.c_str(), row.best_seconds * 1e3,
+                engine.c_str(), dims.c_str(), row.best_seconds * 1e3,
                 row.pseudo_gflops, row.pct_of_peak, stages.c_str());
   }
   return true;

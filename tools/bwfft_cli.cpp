@@ -33,6 +33,7 @@
 #include "fft/reference.h"
 #include "obs/obs.h"
 #include "stream/stream.h"
+#include "tune/wisdom.h"
 
 using namespace bwfft;
 
@@ -41,21 +42,19 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dims KxNxM|NxM [--engine "
-               "dbuf|stagepar|slab|pencil|reference] [--threads P] "
+               "dbuf|stagepar|slab|pencil|reference|auto] [--threads P] "
                "[--compute PC] [--block ELEMS] [--mu MU] [--reps R] "
                "[--inverse] [--verify] [--no-nt] [--stats] "
-               "[--trace out.json]\n",
+               "[--trace out.json] [--tune estimate|measure|exhaustive] "
+               "[--wisdom file.json]\n",
                argv0);
   std::exit(2);
 }
 
 EngineKind engine_kind(const std::string& s) {
-  if (s == "dbuf" || s == "double-buffer") return EngineKind::DoubleBuffer;
-  if (s == "stagepar" || s == "stage-parallel")
-    return EngineKind::StageParallel;
-  if (s == "slab" || s == "slab-pencil") return EngineKind::SlabPencil;
-  if (s == "pencil") return EngineKind::Pencil;
-  return EngineKind::Reference;
+  EngineKind kind = EngineKind::Reference;
+  engine_kind_from_name(s, &kind);  // s was validated by parse_args
+  return kind;
 }
 
 }  // namespace
@@ -79,7 +78,25 @@ int main(int argc, char** argv) {
   opts.block_elems = a.block;
   opts.packet_elems = a.mu;
   opts.nontemporal = a.nontemporal;
+  if (!a.tune.empty()) tune_level_from_name(a.tune, &opts.tune_level);
   const Direction dir = a.inverse ? Direction::Inverse : Direction::Forward;
+
+  // Wisdom file: load (tolerantly) before planning so an auto plan can
+  // skip measurement, save the merged store afterwards.
+  if (!a.wisdom_path.empty()) {
+    tune::Wisdom file_wisdom;
+    std::string werr;
+    int skipped = 0;
+    if (file_wisdom.load_file(a.wisdom_path, &werr, &skipped)) {
+      if (skipped > 0) {
+        std::fprintf(stderr, "wisdom: skipped %d malformed entries in %s\n",
+                     skipped, a.wisdom_path.c_str());
+      }
+      tune::global_wisdom_merge(file_wisdom);
+    } else {
+      std::fprintf(stderr, "wisdom: %s (starting fresh)\n", werr.c_str());
+    }
+  }
 
   cvec original = random_cvec(total);
   cvec in(original.size()), out(original.size());
@@ -99,6 +116,18 @@ int main(int argc, char** argv) {
   } else {
     plan3 = std::make_unique<Fft3d>(a.dims[0], a.dims[1], a.dims[2], dir,
                                     opts);
+  }
+  if (kind == EngineKind::Auto) {
+    std::printf("auto (%s): resolved to engine=%s\n",
+                tune_level_name(opts.tune_level),
+                plan2 ? plan2->engine_name() : plan3->engine_name());
+  }
+  if (!a.wisdom_path.empty()) {
+    std::string werr;
+    if (!tune::global_wisdom_snapshot().save_file(a.wisdom_path, &werr)) {
+      std::fprintf(stderr, "wisdom: %s\n", werr.c_str());
+      return 1;
+    }
   }
   auto run_once = [&] {
     std::copy(original.begin(), original.end(), in.begin());

@@ -1,0 +1,160 @@
+// bwfft_tune — run the planner/autotuner and manage wisdom files.
+//
+//   bwfft_tune --dims 128x128x128 [--level estimate|measure|exhaustive]
+//              [--threads P] [--inverse] [--wisdom file.json]
+//
+// Resolves an EngineKind::Auto plan for the given transform and prints
+// the candidate table: the cost-model estimate for every grid point,
+// measured times for the candidates the chosen level executed, and the
+// winning configuration. With --wisdom the file is loaded first (a
+// matching entry short-circuits the whole pass — the printed source line
+// says so) and the merged store is saved back, so a second invocation
+// reports "wisdom: hit" and does no measuring. Corrupt wisdom files are
+// reported and treated as empty, never fatal.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchutil/args.h"
+#include "fft/options.h"
+#include "tune/tuner.h"
+#include "tune/wisdom.h"
+
+using namespace bwfft;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dims KxNxM|NxM "
+               "[--level estimate|measure|exhaustive] [--threads P] "
+               "[--inverse] [--wisdom file.json]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<idx_t> dims{128, 128, 128};
+  TuneLevel level = TuneLevel::Estimate;
+  int threads = 0;
+  bool inverse = false;
+  std::string wisdom_path;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::string err;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](std::string* value) {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        usage(argv[0]);
+      }
+      *value = args[++i];
+    };
+    std::string token;
+    if (arg == "--dims") {
+      next(&token);
+      if (!cli::parse_dims(token, &dims, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        usage(argv[0]);
+      }
+    } else if (arg == "--level") {
+      next(&token);
+      if (!tune_level_from_name(token, &level)) {
+        std::fprintf(stderr, "unknown --level '%s'\n", token.c_str());
+        usage(argv[0]);
+      }
+    } else if (arg == "--threads") {
+      next(&token);
+      long long v = 0;
+      if (!cli::parse_int(token, 1, &v, &err)) {
+        std::fprintf(stderr, "bad --threads: %s\n", err.c_str());
+        usage(argv[0]);
+      }
+      threads = static_cast<int>(v);
+    } else if (arg == "--inverse") {
+      inverse = true;
+    } else if (arg == "--wisdom") {
+      next(&token);
+      if (token.empty()) {
+        std::fprintf(stderr, "--wisdom requires a non-empty path\n");
+        usage(argv[0]);
+      }
+      wisdom_path = token;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  if (!wisdom_path.empty()) {
+    tune::Wisdom file_wisdom;
+    std::string werr;
+    int skipped = 0;
+    if (file_wisdom.load_file(wisdom_path, &werr, &skipped)) {
+      if (skipped > 0) {
+        std::fprintf(stderr, "wisdom: skipped %d malformed entries\n",
+                     skipped);
+      }
+      tune::global_wisdom_merge(file_wisdom);
+      std::printf("wisdom: loaded %zu entries from %s\n", file_wisdom.size(),
+                  wisdom_path.c_str());
+    } else {
+      std::fprintf(stderr, "wisdom: %s (starting fresh)\n", werr.c_str());
+    }
+  }
+
+  FftOptions opts;
+  opts.engine = EngineKind::Auto;
+  opts.tune_level = level;
+  opts.threads = threads;
+  const Direction dir = inverse ? Direction::Inverse : Direction::Forward;
+
+  std::printf("tune: dims=");
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    std::printf("%s%lld", i ? "x" : "", static_cast<long long>(dims[i]));
+  }
+  std::printf(" dir=%s level=%s\n", inverse ? "inverse" : "forward",
+              tune_level_name(level));
+
+  tune::TuneReport report;
+  const FftOptions resolved = tune::resolve_auto(dims, dir, opts, &report);
+
+  if (report.from_wisdom) {
+    std::printf("wisdom: hit — no measurement needed\n");
+  } else {
+    std::printf("wisdom: miss — ranked %zu candidates, measured %d "
+                "(model bandwidth %.1f GB/s)\n",
+                report.candidates.size(), report.measured_count,
+                report.stream_bw_gbs);
+    std::printf("  %-44s %12s %12s\n", "candidate", "est ms", "measured ms");
+    for (const tune::TuneCandidate& c : report.candidates) {
+      char measured[32] = "-";
+      if (c.measured_seconds >= 0.0) {
+        std::snprintf(measured, sizeof(measured), "%.3f",
+                      c.measured_seconds * 1e3);
+      }
+      std::printf("  %-44s %12.3f %12s%s\n",
+                  tune::candidate_label(c).c_str(), c.est_seconds * 1e3,
+                  measured,
+                  tune::same_config(c, report.chosen) ? "  <- chosen" : "");
+    }
+  }
+  std::printf("chosen: %s (engine=%s)\n",
+              tune::candidate_label(report.chosen).c_str(),
+              engine_name(resolved.engine));
+
+  if (!wisdom_path.empty()) {
+    std::string werr;
+    const tune::Wisdom snapshot = tune::global_wisdom_snapshot();
+    if (!snapshot.save_file(wisdom_path, &werr)) {
+      std::fprintf(stderr, "wisdom: %s\n", werr.c_str());
+      return 1;
+    }
+    std::printf("wisdom: saved %zu entries to %s\n", snapshot.size(),
+                wisdom_path.c_str());
+  }
+  return 0;
+}

@@ -17,7 +17,9 @@
 # The quick configuration is the fast pre-push gate: an uninstrumented
 # RelWithDebInfo build running `ctest -L tier1`, then a bench smoke —
 # bench/run_all --smoke swept through tools/bench_report, which validates
-# the emitted BENCH json against the bwfft-bench-v1 schema.
+# the emitted BENCH json against the bwfft-bench-v1 schema — and a tune
+# smoke: bwfft_tune twice against a temp wisdom file, asserting the
+# second run is wisdom-warmed ("wisdom: hit").
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -60,6 +62,18 @@ run_quick() {
   local smoke="$build/bench_smoke.json"
   "$build/bench/run_all" --smoke --label smoke --out "$smoke"
   "$build/tools/bench_report" "$smoke"
+  echo "=== [quick] tune smoke ==="
+  local wisdom_dir
+  wisdom_dir="$(mktemp -d)"
+  trap 'rm -rf "$wisdom_dir"' RETURN
+  local wisdom="$wisdom_dir/wisdom.json"
+  "$build/tools/bwfft_tune" --dims 64x64x64 --level estimate \
+      --wisdom "$wisdom"
+  # The second invocation must be served from the saved wisdom file —
+  # no re-ranking, no measuring.
+  "$build/tools/bwfft_tune" --dims 64x64x64 --level estimate \
+      --wisdom "$wisdom" | tee "$wisdom_dir/second.log"
+  grep -q "wisdom: hit" "$wisdom_dir/second.log"
   echo "=== [quick] clean ==="
 }
 
