@@ -127,6 +127,8 @@ bool parse_args(const std::vector<std::string>& args, Options* out,
       o.nontemporal = false;
     } else if (arg == "--stats") {
       o.stats = true;
+    } else if (arg == "--verbose") {
+      o.verbose = true;
     } else if (arg == "--trace") {
       std::string token;
       if (!next(&token)) return false;

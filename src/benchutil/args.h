@@ -30,6 +30,7 @@ struct Options {
   bool verify = false;
   bool nontemporal = true;
   bool stats = false;
+  bool verbose = false;  ///< print the degradation / fault report
   std::string trace_path;  ///< empty = no chrome-trace export
   std::string tune;        ///< --tune level; empty = no autotuning
   std::string wisdom_path; ///< --wisdom file; empty = no persistence

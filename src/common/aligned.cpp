@@ -1,11 +1,65 @@
 #include "common/aligned.h"
 
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "fault/fault.h"
 
 namespace bwfft {
 
+namespace {
+
+/// mmap-backed allocations and their lengths, so aligned_free_placed can
+/// tell an munmap from a std::free. Placement allocations happen at plan
+/// construction (a handful per plan), so a mutexed map costs nothing on
+/// the execute path.
+struct MmapRegistry {
+  std::mutex mu;
+  std::unordered_map<void*, std::size_t> len;
+};
+
+MmapRegistry& mmap_registry() {
+  static MmapRegistry* r = new MmapRegistry;  // leaked: usable at exit
+  return *r;
+}
+
+/// Best-effort mmap path shared by the HugePage and NumaLocal
+/// preferences. NUMA locality needs no syscall here: Linux' default
+/// first-touch policy places each page on the node of the thread that
+/// first writes it, which is exactly what the per-domain slab threads do.
+void* try_mmap_placed(std::size_t bytes, bool huge) {
+#if defined(__linux__)
+  const std::size_t page = 4096;
+  const std::size_t len = (bytes + page - 1) / page * page;
+  void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return nullptr;
+#if defined(MADV_HUGEPAGE)
+  if (huge) ::madvise(p, len, MADV_HUGEPAGE);  // advisory; failure is fine
+#else
+  (void)huge;
+#endif
+  MmapRegistry& r = mmap_registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.len.emplace(p, len);
+  return p;
+#else
+  (void)bytes;
+  (void)huge;
+  return nullptr;
+#endif
+}
+
+}  // namespace
+
 void* aligned_alloc_bytes(std::size_t bytes, std::size_t align) {
   if (bytes == 0) return nullptr;
+  if (BWFFT_FAULT_POINT(fault::kSiteAllocAligned)) throw std::bad_alloc();
   // std::aligned_alloc requires the size to be a multiple of the alignment.
   std::size_t rounded = (bytes + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded);
@@ -14,5 +68,66 @@ void* aligned_alloc_bytes(std::size_t bytes, std::size_t align) {
 }
 
 void aligned_free(void* p) noexcept { std::free(p); }
+
+const char* placement_name(AllocPlacement p) {
+  switch (p) {
+    case AllocPlacement::Plain: return "plain";
+    case AllocPlacement::HugePage: return "huge-page";
+    case AllocPlacement::NumaLocal: return "numa-local";
+  }
+  return "?";
+}
+
+void* aligned_alloc_placed(std::size_t bytes, AllocPlacement want,
+                           AllocPlacement* got) {
+  if (got) *got = AllocPlacement::Plain;
+  if (bytes == 0) return nullptr;
+
+  if (want == AllocPlacement::HugePage) {
+    if (!BWFFT_FAULT_POINT(fault::kSiteAllocHuge)) {
+      if (void* p = try_mmap_placed(bytes, /*huge=*/true)) {
+        if (got) *got = AllocPlacement::HugePage;
+        return p;
+      }
+    }
+    fault::note_degrade(
+        "huge-page allocation unavailable; using plain aligned memory");
+  } else if (want == AllocPlacement::NumaLocal) {
+    if (!BWFFT_FAULT_POINT(fault::kSiteAllocNuma)) {
+      if (void* p = try_mmap_placed(bytes, /*huge=*/false)) {
+        if (got) *got = AllocPlacement::NumaLocal;
+        return p;
+      }
+    }
+    fault::note_degrade(
+        "NUMA-local allocation unavailable; using plain aligned memory");
+  }
+
+  try {
+    return aligned_alloc_bytes(bytes);
+  } catch (const std::bad_alloc&) {
+    throw Error(ErrorCode::kAllocFailed,
+                "aligned allocation of " + std::to_string(bytes) +
+                    " bytes failed (placement " + placement_name(want) + ")");
+  }
+}
+
+void aligned_free_placed(void* p) noexcept {
+  if (p == nullptr) return;
+#if defined(__linux__)
+  {
+    MmapRegistry& r = mmap_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    const auto it = r.len.find(p);
+    if (it != r.len.end()) {
+      const std::size_t len = it->second;
+      r.len.erase(it);
+      ::munmap(p, len);
+      return;
+    }
+  }
+#endif
+  aligned_free(p);  // plain fallback allocation
+}
 
 }  // namespace bwfft

@@ -17,10 +17,34 @@
 namespace bwfft {
 
 /// Allocate `bytes` of 64-byte-aligned storage. Throws std::bad_alloc.
+/// Fault site "alloc.aligned" injects that failure deterministically.
 void* aligned_alloc_bytes(std::size_t bytes, std::size_t align = kCachelineBytes);
 
 /// Free storage obtained from aligned_alloc_bytes.
 void aligned_free(void* p) noexcept;
+
+/// Where a large transform buffer should live. These are *preferences*
+/// with a graceful fallback chain (HugePage/NumaLocal -> Plain): a failed
+/// preferred placement degrades to plain aligned memory and records a
+/// fault::note_degrade instead of failing the plan. Fault sites
+/// "alloc.huge" / "alloc.numa" inject the preferred-path failures.
+enum class AllocPlacement {
+  Plain,     ///< std::aligned_alloc
+  HugePage,  ///< mmap + MADV_HUGEPAGE: fewer TLB misses on multi-MB buffers
+  NumaLocal, ///< mmap + first-touch placement on the touching thread's node
+};
+
+const char* placement_name(AllocPlacement p);
+
+/// Allocate with a placement preference. Returns 64-byte-aligned (in
+/// fact page-aligned for mmap placements) storage; *got reports the
+/// placement actually obtained. Throws bwfft::Error(kAllocFailed) when
+/// even the plain fallback cannot be satisfied.
+void* aligned_alloc_placed(std::size_t bytes, AllocPlacement want,
+                           AllocPlacement* got = nullptr);
+
+/// Free storage obtained from aligned_alloc_placed (any placement).
+void aligned_free_placed(void* p) noexcept;
 
 /// STL-compatible allocator yielding 64-byte-aligned storage.
 template <typename T>
@@ -60,22 +84,32 @@ class AlignedBuffer {
   AlignedBuffer() = default;
   explicit AlignedBuffer(std::size_t n)
       : ptr_(static_cast<T*>(aligned_alloc_bytes(n * sizeof(T)))), size_(n) {}
-  ~AlignedBuffer() { aligned_free(ptr_); }
+  /// Placement-preferring variant: large pipeline/work buffers ask for
+  /// huge pages (or NUMA-local pages) and degrade to plain aligned
+  /// memory when the preference cannot be satisfied.
+  AlignedBuffer(std::size_t n, AllocPlacement want)
+      : ptr_(static_cast<T*>(aligned_alloc_placed(n * sizeof(T), want))),
+        size_(n),
+        placed_(true) {}
+  ~AlignedBuffer() { release(); }
 
   AlignedBuffer(const AlignedBuffer&) = delete;
   AlignedBuffer& operator=(const AlignedBuffer&) = delete;
   AlignedBuffer(AlignedBuffer&& o) noexcept
-      : ptr_(o.ptr_), size_(o.size_) {
+      : ptr_(o.ptr_), size_(o.size_), placed_(o.placed_) {
     o.ptr_ = nullptr;
     o.size_ = 0;
+    o.placed_ = false;
   }
   AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
     if (this != &o) {
-      aligned_free(ptr_);
+      release();
       ptr_ = o.ptr_;
       size_ = o.size_;
+      placed_ = o.placed_;
       o.ptr_ = nullptr;
       o.size_ = 0;
+      o.placed_ = false;
     }
     return *this;
   }
@@ -90,8 +124,17 @@ class AlignedBuffer {
   T* end() noexcept { return ptr_ + size_; }
 
  private:
+  void release() noexcept {
+    if (placed_) {
+      aligned_free_placed(ptr_);
+    } else {
+      aligned_free(ptr_);
+    }
+  }
+
   T* ptr_ = nullptr;
   std::size_t size_ = 0;
+  bool placed_ = false;
 };
 
 }  // namespace bwfft

@@ -1,35 +1,115 @@
 // Error handling used across the library.
 //
-// Configuration errors (bad sizes, mismatched dimensions) throw
-// bwfft::Error; internal invariant violations use BWFFT_ASSERT which is
-// active in all build types — the cost is negligible next to the
-// memory-bound workloads this library targets.
+// Three layers:
+//
+//   * ErrorCode — a small taxonomy of the ways an engine can fail. Every
+//     bwfft::Error carries one, so engine boundaries can tell a stalled
+//     worker (retryable with a smaller team) from a bad plan (not
+//     retryable) without string-matching what() text.
+//
+//   * Error — the exception thrown on invalid configuration and internal
+//     failures. Configuration errors (bad sizes, mismatched dimensions)
+//     throw code kBadPlan via BWFFT_CHECK; internal invariant violations
+//     use BWFFT_ASSERT (kInternal), active in all build types — the cost
+//     is negligible next to the memory-bound workloads this library
+//     targets.
+//
+//   * Status — the no-throw result type of the engine-boundary APIs
+//     (Fft2d/Fft3d::try_execute). A Status is either ok() or carries the
+//     ErrorCode + message of the failure that survived the degradation /
+//     retry policy (docs/INTERNALS.md §10).
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace bwfft {
 
-/// Exception thrown on invalid plan configuration or argument errors.
+/// Failure taxonomy at engine boundaries.
+enum class ErrorCode : int {
+  kOk = 0,
+  kBadPlan,               ///< invalid configuration / argument error
+  kAllocFailed,           ///< aligned allocation could not be satisfied
+  kAffinityUnavailable,   ///< thread pinning rejected by the OS
+  kWorkerLost,            ///< a team thread died or could not be spawned
+  kStall,                 ///< a worker never reached a team barrier
+  kWisdomCorrupt,         ///< wisdom file failed to parse (torn write)
+  kInternal,              ///< library invariant violated (a bwfft bug)
+};
+
+/// Stable kebab-case name ("ok", "bad-plan", "stall", ...).
+const char* error_code_name(ErrorCode code);
+
+/// Exception thrown on invalid plan configuration, argument errors and
+/// internal failures; carries the ErrorCode the status layer reports.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(ErrorCode::kBadPlan) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
+
+/// No-throw result of the engine-boundary APIs. Either ok() or a code +
+/// message describing the failure that exhausted the recovery policy.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string str() const {
+    if (ok()) return "ok";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kBadPlan: return "bad-plan";
+    case ErrorCode::kAllocFailed: return "alloc-failed";
+    case ErrorCode::kAffinityUnavailable: return "affinity-unavailable";
+    case ErrorCode::kWorkerLost: return "worker-lost";
+    case ErrorCode::kStall: return "stall";
+    case ErrorCode::kWisdomCorrupt: return "wisdom-corrupt";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
 
 namespace detail {
 [[noreturn]] inline void throw_error(const char* file, int line,
-                                     const std::string& msg) {
+                                     const std::string& msg,
+                                     ErrorCode code = ErrorCode::kBadPlan) {
   std::ostringstream os;
   os << file << ":" << line << ": " << msg;
-  throw Error(os.str());
+  throw Error(code, os.str());
 }
 }  // namespace detail
 
 }  // namespace bwfft
 
-/// Check a user-facing precondition; throws bwfft::Error on failure.
+/// Check a user-facing precondition; throws bwfft::Error (kBadPlan) on
+/// failure.
 #define BWFFT_CHECK(cond, msg)                                    \
   do {                                                            \
     if (!(cond)) {                                                \
@@ -39,12 +119,13 @@ namespace detail {
     }                                                             \
   } while (0)
 
-/// Internal invariant; failure indicates a library bug.
+/// Internal invariant; failure indicates a library bug (kInternal).
 #define BWFFT_ASSERT(cond)                                                 \
   do {                                                                     \
     if (!(cond)) {                                                         \
       ::bwfft::detail::throw_error(__FILE__, __LINE__,                     \
                                    std::string("internal invariant: ") + \
-                                       #cond);                             \
+                                       #cond,                              \
+                                   ::bwfft::ErrorCode::kInternal);         \
     }                                                                      \
   } while (0)

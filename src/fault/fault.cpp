@@ -1,0 +1,304 @@
+#include "fault/fault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace bwfft::fault {
+
+namespace {
+
+/// Installed spec plus its live hit/fire counters.
+struct SpecState {
+  FaultSpec spec;
+  long long hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// All mutable harness state. Probes are cold paths (allocation, spawn,
+/// pinning, wisdom I/O) or only reached while a plan is installed, so a
+/// single mutex is fine; the `armed` atomic keeps the no-plan fast path
+/// to one relaxed load.
+struct State {
+  std::mutex mu;
+  std::vector<SpecState> specs;
+  std::atomic<bool> armed{false};
+  bool env_checked = false;
+
+  std::atomic<std::uint64_t> injected{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> retried{0};
+  std::vector<std::string> degrade_notes;  // guarded by mu
+};
+
+State& state() {
+  static State* s = new State;  // leaked: probes may run during exit
+  return *s;
+}
+
+bool valid_site_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+bool parse_ll(const std::string& tok, long long* out) {
+  if (tok.empty()) return false;
+  std::size_t pos = 0;
+  long long v;
+  try {
+    v = std::stoll(tok, &pos, 10);
+  } catch (...) {
+    return false;
+  }
+  if (pos != tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parse one `site[/ctx][@skip][:count][=value]` spec.
+bool parse_spec(const std::string& text, FaultSpec* out, std::string* err) {
+  FaultSpec s;
+  std::size_t i = 0;
+  while (i < text.size() && valid_site_char(text[i])) ++i;
+  s.site = text.substr(0, i);
+  if (s.site.empty()) {
+    if (err) *err = "fault spec has no site name: \"" + text + "\"";
+    return false;
+  }
+  while (i < text.size()) {
+    const char tag = text[i++];
+    std::size_t j = i;
+    while (j < text.size() && text[j] != '/' && text[j] != '@' &&
+           text[j] != ':' && text[j] != '=') {
+      ++j;
+    }
+    const std::string tok = text.substr(i, j - i);
+    i = j;
+    long long v = 0;
+    switch (tag) {
+      case '/':
+        if (!parse_ll(tok, &v) || v < 0) {
+          if (err) *err = "bad /ctx in fault spec \"" + text + "\"";
+          return false;
+        }
+        s.ctx = v;
+        break;
+      case '@':
+        if (!parse_ll(tok, &v) || v < 0) {
+          if (err) *err = "bad @skip in fault spec \"" + text + "\"";
+          return false;
+        }
+        s.skip = v;
+        break;
+      case ':':
+        if (tok == "*") {
+          s.count = -1;
+        } else if (parse_ll(tok, &v) && v >= 1) {
+          s.count = v;
+        } else {
+          if (err) *err = "bad :count in fault spec \"" + text + "\"";
+          return false;
+        }
+        break;
+      case '=':
+        if (!parse_ll(tok, &v)) {
+          if (err) *err = "bad =value in fault spec \"" + text + "\"";
+          return false;
+        }
+        s.value = v;
+        break;
+      default:
+        if (err) {
+          *err = std::string("unexpected '") + tag + "' in fault spec \"" +
+                 text + "\"";
+        }
+        return false;
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+void install_locked(State& st, const FaultPlan& plan) {
+  st.specs.clear();
+  st.specs.reserve(plan.specs.size());
+  for (const FaultSpec& s : plan.specs) st.specs.push_back({s, 0, 0});
+  st.armed.store(!st.specs.empty(), std::memory_order_release);
+}
+
+/// BWFFT_FAULTS is consulted once, lazily, the first time a probe runs
+/// with no programmatic plan installed. A malformed value is reported to
+/// stderr and ignored (a fault harness must not itself crash the run).
+void maybe_load_env_locked(State& st) {
+  if (st.env_checked) return;
+  st.env_checked = true;
+  const char* env = std::getenv("BWFFT_FAULTS");
+  if (!env || !*env) return;
+  FaultPlan plan;
+  std::string err;
+  if (!plan.parse(env, &err)) {
+    std::fprintf(stderr, "bwfft: ignoring BWFFT_FAULTS: %s\n", err.c_str());
+    return;
+  }
+  install_locked(st, plan);
+}
+
+/// Core probe. Counts the hit against every matching spec; fires when any
+/// matching spec's window covers this hit.
+bool fire_locked(State& st, const char* site, long long ctx,
+                 std::int64_t* value) {
+  bool fired = false;
+  for (SpecState& ss : st.specs) {
+    if (ss.spec.site != site) continue;
+    if (ss.spec.ctx >= 0 && ss.spec.ctx != ctx) continue;
+    const long long hit = ++ss.hits;
+    if (hit <= ss.spec.skip) continue;
+    if (ss.spec.count >= 0 && hit > ss.spec.skip + ss.spec.count) continue;
+    ++ss.fires;
+    if (!fired && value) *value = ss.spec.value;
+    fired = true;
+  }
+  if (fired) st.injected.fetch_add(1, std::memory_order_relaxed);
+  return fired;
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& text, std::string* err) {
+  std::vector<FaultSpec> parsed;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string piece = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (piece.empty()) {
+      if (end == text.size()) break;
+      continue;  // tolerate empty segments ("a;;b", trailing ';')
+    }
+    FaultSpec s;
+    if (!parse_spec(piece, &s, err)) return false;
+    parsed.push_back(std::move(s));
+  }
+  specs = std::move(parsed);
+  return true;
+}
+
+bool active() { return state().armed.load(std::memory_order_acquire); }
+
+void set_plan(const FaultPlan& plan) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.env_checked = true;  // a programmatic plan overrides the environment
+  install_locked(st, plan);
+}
+
+bool set_plan_from_spec(const std::string& spec, std::string* err) {
+  FaultPlan plan;
+  if (!plan.parse(spec, err)) return false;
+  set_plan(plan);
+  return true;
+}
+
+void clear() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.env_checked = true;
+  st.specs.clear();
+  st.armed.store(false, std::memory_order_release);
+}
+
+bool should_fire(const char* site, long long ctx) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  maybe_load_env_locked(st);
+  if (st.specs.empty()) return false;
+  return fire_locked(st, site, ctx, nullptr);
+}
+
+bool should_fire_value(const char* site, long long ctx, std::int64_t* value) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  maybe_load_env_locked(st);
+  if (st.specs.empty()) return false;
+  return fire_locked(st, site, ctx, value);
+}
+
+bool site_armed(const char* site) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  maybe_load_env_locked(st);
+  for (const SpecState& ss : st.specs) {
+    if (ss.spec.site == site) return true;
+  }
+  return false;
+}
+
+std::uint64_t fired_count(const char* site) {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  std::uint64_t n = 0;
+  for (const SpecState& ss : st.specs) {
+    if (ss.spec.site == site) n += ss.fires;
+  }
+  return n;
+}
+
+void note_degrade(const char* what) {
+  State& st = state();
+  st.degraded.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(st.mu);
+  // Deduplicate: a fallback that fires per-allocation would otherwise
+  // flood the report.
+  for (const std::string& n : st.degrade_notes) {
+    if (n == what) return;
+  }
+  st.degrade_notes.emplace_back(what);
+}
+
+void note_retry() {
+  state().retried.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t injected_count() {
+  return state().injected.load(std::memory_order_relaxed);
+}
+std::uint64_t degraded_count() {
+  return state().degraded.load(std::memory_order_relaxed);
+}
+std::uint64_t retried_count() {
+  return state().retried.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> degrade_notes() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  return st.degrade_notes;
+}
+
+void reset_stats() {
+  State& st = state();
+  st.injected.store(0, std::memory_order_relaxed);
+  st.degraded.store(0, std::memory_order_relaxed);
+  st.retried.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.degrade_notes.clear();
+}
+
+std::string report() {
+  State& st = state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  std::string out;
+  for (const SpecState& ss : st.specs) {
+    if (ss.fires == 0) continue;
+    out += "fault " + ss.spec.site + ": fired " + std::to_string(ss.fires) +
+           " of " + std::to_string(ss.hits) + " hits\n";
+  }
+  for (const std::string& n : st.degrade_notes) {
+    out += "degraded: " + n + "\n";
+  }
+  return out;
+}
+
+}  // namespace bwfft::fault

@@ -1,0 +1,158 @@
+// Deterministic fault-injection harness.
+//
+// Production failures — an allocation that cannot be satisfied, a thread
+// that cannot be spawned or pinned, a worker that stalls at a barrier, a
+// wisdom file torn by a crash — are routine, not exceptional, and every
+// one of them must degrade to a correct (if slower) plan instead of
+// crashing the engine. This module lets tests and operators *prove* that:
+// injection points threaded through the stack fire deterministically
+// according to a FaultPlan, and the recovery layer (common/error.h Status,
+// Fft2d/Fft3d::try_execute) is exercised end to end.
+//
+// A plan is a set of specs, one per injection site, installed either
+// programmatically (set_plan / set_plan_from_spec) or via the BWFFT_FAULTS
+// environment variable. Spec grammar (specs separated by ';'):
+//
+//   site[/ctx][@skip][:count][=value]
+//
+//   site    stable site name, e.g. "alloc.huge" (see kSite* below)
+//   /ctx    only hits whose context matches fire (default: any context);
+//           the pipeline passes its barrier step as context, so
+//           "pipeline.stall/3" stalls a thread at step 3
+//   @skip   let this many matching hits pass before firing (default 0)
+//   :count  fire on this many consecutive hits after the skip; '*' means
+//           every hit (default 1)
+//   =value  integer payload delivered to the site when it fires, e.g. a
+//           straggler delay in milliseconds (default 0)
+//
+// Examples:
+//   BWFFT_FAULTS="alloc.huge:*"            every huge-page alloc fails
+//   BWFFT_FAULTS="spawn.thread@2"          the 3rd thread spawn fails once
+//   BWFFT_FAULTS="pipeline.stall/3=500"    one thread sleeps 500 ms at
+//                                          pipeline barrier step 3
+//   BWFFT_FAULTS="pin:*;wisdom.torn"       two families at once
+//
+// Sites call the BWFFT_FAULT_POINT / BWFFT_FAULT_VALUE macros. With the
+// CMake option BWFFT_FAULT=OFF the macros compile to constant-false (like
+// the obs macros compile to ((void)0)), so release hot paths carry no
+// probes. With the option ON but no plan installed, a probe is one
+// relaxed atomic load.
+//
+// The harness also keeps the aggregate robustness tallies — faults
+// injected, degradations taken, recovery retries — that the obs layer
+// mirrors as the fault_injected / fault_degrade / fault_retry counters.
+// Degradation call sites below the obs layer (e.g. the allocator) report
+// through note_degrade(), which needs no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwfft::fault {
+
+// Stable site names. Keyed strings rather than an enum so out-of-tree
+// experiments can add probes without touching this header.
+inline constexpr const char* kSiteAllocAligned = "alloc.aligned";
+inline constexpr const char* kSiteAllocHuge = "alloc.huge";
+inline constexpr const char* kSiteAllocNuma = "alloc.numa";
+inline constexpr const char* kSitePin = "pin";
+inline constexpr const char* kSiteSpawnThread = "spawn.thread";
+inline constexpr const char* kSiteBarrierStall = "barrier.stall";
+inline constexpr const char* kSitePipelineStall = "pipeline.stall";
+inline constexpr const char* kSiteWisdomTorn = "wisdom.torn";
+inline constexpr const char* kSiteWisdomCorrupt = "wisdom.corrupt";
+
+/// One parsed spec of a FaultPlan (see the grammar above).
+struct FaultSpec {
+  std::string site;
+  long long ctx = -1;    ///< required context; -1 matches any
+  long long skip = 0;    ///< matching hits to let pass before firing
+  long long count = 1;   ///< firings after the skip; -1 = every hit
+  std::int64_t value = 0;  ///< payload handed to the site when firing
+};
+
+/// A set of fault specs. Parsing accepts the BWFFT_FAULTS grammar; a
+/// malformed spec fails the whole parse with a diagnostic.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+  bool parse(const std::string& text, std::string* err);
+};
+
+/// True when a non-empty plan is installed (one relaxed load; the macros
+/// bail out on false before any locking).
+bool active();
+
+/// Install a plan (replaces any previous one and zeroes its hit/fire
+/// counters). An empty plan is equivalent to clear().
+void set_plan(const FaultPlan& plan);
+
+/// Parse `spec` and install it. False (and no plan change) on a grammar
+/// error.
+bool set_plan_from_spec(const std::string& spec, std::string* err);
+
+/// Remove the installed plan; all probes return false again.
+void clear();
+
+/// Probe an injection site: true when the installed plan says this hit
+/// fires. Also bumps the site's fired counter and the aggregate injected
+/// tally. `ctx` is matched against the spec's /ctx filter.
+bool should_fire(const char* site, long long ctx = -1);
+
+/// Probe with payload: like should_fire, additionally storing the spec's
+/// =value into *value when firing.
+bool should_fire_value(const char* site, long long ctx, std::int64_t* value);
+
+/// True when the installed plan has a spec for `site` (fired or not) —
+/// used to arm watchdogs only when a stall is actually scheduled.
+bool site_armed(const char* site);
+
+/// Total firings of `site` since the plan was installed.
+std::uint64_t fired_count(const char* site);
+
+// ---------------------------------------------------------------------------
+// Aggregate robustness tallies (mirrored into obs counters).
+
+/// Record one graceful degradation (fallback taken instead of failing).
+/// `what` is a short static description, kept for the CLI report.
+void note_degrade(const char* what);
+
+/// Record one recovery retry (a run aborted and re-planned).
+void note_retry();
+
+std::uint64_t injected_count();
+std::uint64_t degraded_count();
+std::uint64_t retried_count();
+
+/// Snapshot of the recorded degradation notes (deduplicated, in the
+/// order first taken) — ExecReport and the CLI verbose report use this.
+std::vector<std::string> degrade_notes();
+
+/// Zero the aggregate tallies and the recorded degradation notes (the
+/// installed plan and its per-site counters are untouched).
+void reset_stats();
+
+/// Human-readable robustness report: per-site firings of the installed
+/// plan plus the degradation notes, one line each. Empty string when
+/// nothing fired and nothing degraded.
+std::string report();
+
+}  // namespace bwfft::fault
+
+// ---------------------------------------------------------------------------
+// Probe macros — constant-false when BWFFT_FAULT is off, so the guarded
+// failure branches fold away entirely.
+
+#if defined(BWFFT_FAULT)
+#define BWFFT_FAULT_POINT(site) ::bwfft::fault::should_fire((site))
+#define BWFFT_FAULT_POINT_CTX(site, ctx) \
+  ::bwfft::fault::should_fire((site), (ctx))
+#define BWFFT_FAULT_VALUE(site, ctx, value_out) \
+  ::bwfft::fault::should_fire_value((site), (ctx), (value_out))
+#else
+#define BWFFT_FAULT_POINT(site) false
+#define BWFFT_FAULT_POINT_CTX(site, ctx) false
+#define BWFFT_FAULT_VALUE(site, ctx, value_out) false
+#endif

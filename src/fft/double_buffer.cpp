@@ -26,7 +26,8 @@ DoubleBufferEngine::DoubleBufferEngine(std::vector<idx_t> dims, Direction dir,
     const idx_t mu = resolve_packet_size(opts_.packet_elems, dims_[1]);
     auto s = make_2d_stages(dims_[0], dims_[1], mu);
     stages_.assign(s.begin(), s.end());
-    work_.resize(static_cast<std::size_t>(total_));
+    work_ = AlignedBuffer<cplx>(static_cast<std::size_t>(total_),
+                                AllocPlacement::HugePage);
   } else {
     const idx_t mu = resolve_packet_size(opts_.packet_elems, dims_[2]);
     auto s = make_3d_stages(dims_[0], dims_[1], dims_[2], mu);

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "fft/engine.h"
 #include "fft/stage.h"
 #include "fft1d/fft1d.h"
@@ -68,7 +69,7 @@ class DoubleBufferEngine final : public MdEngine {
   std::unique_ptr<ThreadTeam> team_;
   RolePlan roles_;
   std::unique_ptr<DoubleBufferPipeline> pipeline_;
-  cvec work_;  // 2D intermediate
+  AlignedBuffer<cplx> work_;  // 2D intermediate (huge-page preferred)
   idx_t total_ = 1;
   std::vector<StageStats> stats_;
 };

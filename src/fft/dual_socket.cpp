@@ -47,7 +47,8 @@ DualSocketFft3d::DualSocketFft3d(idx_t k, idx_t n, idx_t m, Direction dir,
   socket_.resize(static_cast<std::size_t>(sk_));
   for (auto& s : socket_) {
     s.barrier = std::make_unique<SpinBarrier>(per_socket_threads_);
-    s.buffer = AlignedBuffer<cplx>(static_cast<std::size_t>(2 * block_elems_));
+    s.buffer = AlignedBuffer<cplx>(static_cast<std::size_t>(2 * block_elems_),
+                                   AllocPlacement::HugePage);
   }
 }
 

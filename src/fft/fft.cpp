@@ -1,6 +1,12 @@
 #include "fft/fft.h"
 
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <thread>
+
 #include "common/error.h"
+#include "fault/fault.h"
 #include "fft/double_buffer.h"
 #include "fft/pencil.h"
 #include "fft/reference.h"
@@ -137,37 +143,174 @@ void inplace_copy_back(cplx* dst, const cvec& work, bool nontemporal) {
   if (nontemporal) stream_fence();
 }
 
+// ---------------------------------------------------------------------------
+// Recovery policy (docs/INTERNALS.md §10) shared by the facades.
+
+constexpr int kMaxRetries = 3;
+
+int resolved_threads(const FftOptions& opts) {
+  return opts.threads > 0 ? opts.threads : opts.topo.total_threads();
+}
+
+/// A stall or lost worker may be transient (or injected once): worth a
+/// retry with a smaller team. Everything else either cannot recover
+/// (kBadPlan, kInternal) or recovers by switching engines, not resizing.
+bool transient(ErrorCode c) {
+  return c == ErrorCode::kStall || c == ErrorCode::kWorkerLost;
+}
+
+/// Shrink the plan after a transient failure: halve the thread budget and
+/// let the role split re-derive itself from the new size.
+void halve_threads(FftOptions& opts) {
+  opts.threads = std::max(1, resolved_threads(opts) / 2);
+  opts.compute_threads = -1;
+}
+
+/// Engine construction for the facades. Recoverable construction
+/// failures (an injected or real spawn failure, placed-alloc exhaustion)
+/// degrade the options and try again instead of failing the plan;
+/// kBadPlan — the request itself is invalid — still throws.
+std::unique_ptr<MdEngine> build_engine_recovering(
+    const std::vector<idx_t>& dims, Direction dir, FftOptions& opts) {
+  for (int attempt = 0;; ++attempt) {
+    ErrorCode code = ErrorCode::kInternal;
+    try {
+      return make_engine(dims, dir, opts);
+    } catch (const Error& e) {
+      code = e.code();
+      if (code == ErrorCode::kBadPlan || code == ErrorCode::kInternal ||
+          attempt >= kMaxRetries) {
+        throw;
+      }
+    } catch (const std::bad_alloc&) {
+      code = ErrorCode::kAllocFailed;
+      if (attempt >= kMaxRetries) throw;
+    }
+    if (transient(code) && resolved_threads(opts) > 1) {
+      halve_threads(opts);
+      fault::note_retry();
+    } else if (opts.engine != EngineKind::Reference) {
+      // Terminal fallback: the dense oracle needs no team and no placed
+      // buffers, so it survives anything short of heap exhaustion.
+      fault::note_degrade(
+          "plan construction failed; falling back to reference engine");
+      fault::note_retry();
+      opts.engine = EngineKind::Reference;
+    } else {
+      throw Error(code, "reference engine failed to build");
+    }
+  }
+}
+
+/// Shared body of Fft2d/Fft3d::try_execute. Attempts the current engine;
+/// on failure classifies the error, degrades the stored options (so the
+/// fallback sticks for later calls), rebuilds and retries with a short
+/// backoff, bounded by kMaxRetries.
+Status try_execute_impl(const std::vector<idx_t>& dims, Direction dir,
+                        FftOptions& opts, std::unique_ptr<MdEngine>& engine,
+                        cplx* in, cplx* out, ExecReport* rep) {
+  Status st;
+  int retries = 0;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (!engine) engine = make_engine(dims, dir, opts);
+      engine->execute(in, out);
+      st = Status::Ok();
+      break;
+    } catch (const Error& e) {
+      st = Status(e.code(), e.what());
+    } catch (const std::bad_alloc&) {
+      st = Status(ErrorCode::kAllocFailed,
+                  "allocation failed while executing plan");
+    } catch (const std::exception& e) {
+      st = Status(ErrorCode::kInternal, e.what());
+    }
+    // The failed engine's team and buffers are suspect — rebuild.
+    engine.reset();
+    if (st.code() == ErrorCode::kBadPlan ||
+        st.code() == ErrorCode::kInternal || attempt >= kMaxRetries) {
+      break;
+    }
+    if (transient(st.code()) && resolved_threads(opts) > 1) {
+      halve_threads(opts);
+      fault::note_retry();
+      ++retries;
+      // Brief backoff: an injected straggler or a genuinely overloaded
+      // host both benefit from not re-spawning the team immediately.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1LL << attempt));
+    } else if (opts.engine != EngineKind::Reference) {
+      fault::note_degrade(
+          "engine execution failed; falling back to reference engine");
+      fault::note_retry();
+      ++retries;
+      opts.engine = EngineKind::Reference;
+    } else {
+      break;
+    }
+  }
+  if (rep) {
+    rep->status = st;
+    rep->retries = retries;
+    rep->threads_used =
+        (engine && opts.engine == EngineKind::Reference) ? 1
+                                                         : resolved_threads(opts);
+    rep->engine = engine ? engine->name() : engine_name(opts.engine);
+    rep->degradations = fault::degrade_notes();
+  }
+  return st;
+}
+
 }  // namespace
 
 Fft2d::Fft2d(idx_t n, idx_t m, Direction dir, FftOptions opts)
-    : n_(n), m_(m), engine_(make_engine({n, m}, dir, opts)),
-      nontemporal_(opts.nontemporal) {}
+    : n_(n), m_(m), dir_(dir), opts_(std::move(opts)),
+      nontemporal_(opts_.nontemporal) {
+  engine_ = build_engine_recovering({n_, m_}, dir_, opts_);
+}
 Fft2d::~Fft2d() = default;
 Fft2d::Fft2d(Fft2d&&) noexcept = default;
 Fft2d& Fft2d::operator=(Fft2d&&) noexcept = default;
 
-void Fft2d::execute(cplx* in, cplx* out) { engine_->execute(in, out); }
+void Fft2d::execute(cplx* in, cplx* out) {
+  // A failed try_execute leaves no engine; rebuild (and throw on failure,
+  // as this is the throwing API).
+  if (!engine_) engine_ = make_engine({n_, m_}, dir_, opts_);
+  engine_->execute(in, out);
+}
+
+Status Fft2d::try_execute(cplx* in, cplx* out, ExecReport* rep) {
+  return try_execute_impl({n_, m_}, dir_, opts_, engine_, in, out, rep);
+}
 
 void Fft2d::execute_inplace(cplx* data) {
   inplace_work_.resize(static_cast<std::size_t>(size()));
-  engine_->execute(data, inplace_work_.data());
+  execute(data, inplace_work_.data());
   inplace_copy_back(data, inplace_work_, nontemporal_);
 }
 
 const char* Fft2d::engine_name() const { return engine_->name(); }
 
 Fft3d::Fft3d(idx_t k, idx_t n, idx_t m, Direction dir, FftOptions opts)
-    : k_(k), n_(n), m_(m), engine_(make_engine({k, n, m}, dir, opts)),
-      nontemporal_(opts.nontemporal) {}
+    : k_(k), n_(n), m_(m), dir_(dir), opts_(std::move(opts)),
+      nontemporal_(opts_.nontemporal) {
+  engine_ = build_engine_recovering({k_, n_, m_}, dir_, opts_);
+}
 Fft3d::~Fft3d() = default;
 Fft3d::Fft3d(Fft3d&&) noexcept = default;
 Fft3d& Fft3d::operator=(Fft3d&&) noexcept = default;
 
-void Fft3d::execute(cplx* in, cplx* out) { engine_->execute(in, out); }
+void Fft3d::execute(cplx* in, cplx* out) {
+  if (!engine_) engine_ = make_engine({k_, n_, m_}, dir_, opts_);
+  engine_->execute(in, out);
+}
+
+Status Fft3d::try_execute(cplx* in, cplx* out, ExecReport* rep) {
+  return try_execute_impl({k_, n_, m_}, dir_, opts_, engine_, in, out, rep);
+}
 
 void Fft3d::execute_inplace(cplx* data) {
   inplace_work_.resize(static_cast<std::size_t>(size()));
-  engine_->execute(data, inplace_work_.data());
+  execute(data, inplace_work_.data());
   inplace_copy_back(data, inplace_work_, nontemporal_);
 }
 

@@ -17,14 +17,29 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/aligned.h"
+#include "common/error.h"
 #include "common/types.h"
 #include "fft/engine.h"
 #include "fft/options.h"
 
 namespace bwfft {
+
+/// What a try_execute call did to produce (or fail to produce) a result:
+/// the final status, how many times the recovery policy re-planned, and
+/// which degraded configuration the plan ended up on. Degradations are
+/// sticky — once a plan has fallen back (fewer threads, plain memory,
+/// reference engine) it stays there for subsequent calls.
+struct ExecReport {
+  Status status;
+  int retries = 0;       ///< recovery re-plans taken by this call
+  int threads_used = 0;  ///< thread budget of the plan that ran last
+  std::string engine;    ///< engine that produced the result (or last tried)
+  std::vector<std::string> degradations;  ///< fallbacks taken, one line each
+};
 
 /// 2D complex transform of an n x m row-major array.
 class Fft2d {
@@ -38,6 +53,13 @@ class Fft2d {
   /// overwritten.
   void execute(cplx* in, cplx* out);
 
+  /// No-throw execute with recovery: on a stalled or lost worker the plan
+  /// is rebuilt with half the thread budget and retried (bounded, with
+  /// backoff); on allocation failure it falls back to the reference
+  /// engine. Returns the status of the last attempt; `rep` (optional)
+  /// receives the retry count and degradations taken.
+  Status try_execute(cplx* in, cplx* out, ExecReport* rep = nullptr);
+
   /// In-place convenience: transforms `data` through an internal work
   /// array (allocated lazily on first use and kept for reuse).
   void execute_inplace(cplx* data);
@@ -49,6 +71,8 @@ class Fft2d {
 
  private:
   idx_t n_, m_;
+  Direction dir_;
+  FftOptions opts_;  // mutated as recovery degrades the plan
   std::unique_ptr<MdEngine> engine_;
   bool nontemporal_ = true;  // copy-back path of execute_inplace
   cvec inplace_work_;
@@ -66,6 +90,9 @@ class Fft3d {
   /// be overwritten.
   void execute(cplx* in, cplx* out);
 
+  /// No-throw execute with recovery — see Fft2d::try_execute.
+  Status try_execute(cplx* in, cplx* out, ExecReport* rep = nullptr);
+
   /// In-place convenience: transforms `data` through an internal work
   /// array (allocated lazily on first use and kept for reuse).
   void execute_inplace(cplx* data);
@@ -78,6 +105,8 @@ class Fft3d {
 
  private:
   idx_t k_, n_, m_;
+  Direction dir_;
+  FftOptions opts_;  // mutated as recovery degrades the plan
   std::unique_ptr<MdEngine> engine_;
   bool nontemporal_ = true;  // copy-back path of execute_inplace
   cvec inplace_work_;

@@ -21,8 +21,11 @@ SlabPencilEngine::SlabPencilEngine(std::vector<idx_t> dims, Direction dir,
   fft_k_ = std::make_shared<Fft1d>(k, dir_);
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
   team_ = std::make_unique<ThreadTeam>(p);
-  slab_work_.resize(static_cast<std::size_t>(p));
-  for (auto& w : slab_work_) w.resize(static_cast<std::size_t>(n * m));
+  slab_work_.reserve(static_cast<std::size_t>(p));
+  for (int t = 0; t < p; ++t) {
+    slab_work_.emplace_back(static_cast<std::size_t>(n * m),
+                            AllocPlacement::HugePage);
+  }
 }
 
 void SlabPencilEngine::execute(cplx* in, cplx* out) {

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "fft/engine.h"
 #include "fft/stage.h"
 #include "fft1d/fft1d.h"
@@ -33,7 +34,8 @@ class SlabPencilEngine final : public MdEngine {
   std::array<StageGeometry, 2> slab_stages_;  // 2D stages within one slab
   std::shared_ptr<Fft1d> fft_m_, fft_n_, fft_k_;
   std::unique_ptr<ThreadTeam> team_;
-  std::vector<cvec> slab_work_;  // one n*m scratch per thread
+  // One n*m scratch per thread (huge-page preferred, plain fallback).
+  std::vector<AlignedBuffer<cplx>> slab_work_;
   idx_t total_ = 1;
 };
 

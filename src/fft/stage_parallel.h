@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "fft/engine.h"
 #include "fft/stage.h"
 #include "fft1d/fft1d.h"
@@ -36,7 +37,9 @@ class StageParallelEngine final : public MdEngine {
   std::vector<StageGeometry> stages_;
   std::vector<std::shared_ptr<Fft1d>> ffts_;  // per stage
   std::unique_ptr<ThreadTeam> team_;
-  cvec work_;  // 2D needs an intermediate so the result lands in `out`
+  // 2D needs an intermediate so the result lands in `out` (huge-page
+  // preferred; degrades to plain aligned memory).
+  AlignedBuffer<cplx> work_;
   idx_t total_ = 1;
 };
 

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "fault/fault.h"
+
 namespace bwfft::obs {
 
 namespace {
@@ -145,6 +147,9 @@ const char* counter_name(Counter c) {
     case Counter::PlanCacheHit: return "plan_cache_hit";
     case Counter::PlanCacheMiss: return "plan_cache_miss";
     case Counter::TuneMeasure: return "tune_measure";
+    case Counter::FaultInjected: return "fault_injected";
+    case Counter::FaultRetry: return "fault_retry";
+    case Counter::FaultDegrade: return "fault_degrade";
   }
   return "?";
 }
@@ -165,10 +170,18 @@ CounterSnapshot counters() {
   for (const ThreadLog* log : r.live) {
     for (int i = 0; i < kCounterCount; ++i) snap.value[i] += log->counters[i];
   }
+  // The fault harness keeps its own tallies (it sits below this layer in
+  // the dependency graph); mirror them into the snapshot here.
+  snap.value[static_cast<int>(Counter::FaultInjected)] =
+      fault::injected_count();
+  snap.value[static_cast<int>(Counter::FaultRetry)] = fault::retried_count();
+  snap.value[static_cast<int>(Counter::FaultDegrade)] =
+      fault::degraded_count();
   return snap;
 }
 
 void reset_counters() {
+  fault::reset_stats();
   Registry& r = registry();
   std::lock_guard<std::mutex> lk(r.mu);
   for (auto& v : r.retired_counters) v = 0;

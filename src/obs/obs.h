@@ -50,8 +50,13 @@ enum class Counter : int {
   PlanCacheHit,     ///< tune::PlanCache lookups served from cache
   PlanCacheMiss,    ///< tune::PlanCache lookups that built a new plan
   TuneMeasure,      ///< candidate configs timed by the autotuner
+  // The fault_* counters mirror the src/fault harness tallies (merged in
+  // at snapshot time, not accumulated thread-locally here).
+  FaultInjected,    ///< fault-injection probes that fired
+  FaultRetry,       ///< recovery retries (plan rebuilt and re-run)
+  FaultDegrade,     ///< graceful degradations (fallback path taken)
 };
-inline constexpr int kCounterCount = 10;
+inline constexpr int kCounterCount = 13;
 
 /// Stable snake_case name (JSON keys in BENCH_*.json use these).
 const char* counter_name(Counter c);

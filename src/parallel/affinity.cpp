@@ -6,9 +6,15 @@
 #include <unistd.h>
 #endif
 
+#include "fault/fault.h"
+
 namespace bwfft {
 
 bool pin_current_thread(int cpu) {
+  // Fault site "pin": simulate the container / cpuset EINVAL the paper's
+  // affinity scheme hits on restricted hosts. Callers must treat a false
+  // return as "run unpinned", never as fatal.
+  if (BWFFT_FAULT_POINT(fault::kSitePin)) return false;
 #if defined(__linux__)
   const long ncpus = sysconf(_SC_NPROCESSORS_ONLN);
   if (cpu < 0 || cpu >= ncpus) return false;

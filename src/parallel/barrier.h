@@ -27,6 +27,7 @@
 #endif
 
 #include "common/error.h"
+#include "fault/fault.h"
 
 namespace bwfft {
 
@@ -54,6 +55,19 @@ class SpinBarrier {
   /// aborted barrier (see abort()) throws immediately instead of waiting
   /// for a party that will never arrive.
   void arrive_and_wait() {
+#if defined(BWFFT_FAULT)
+    // Straggler injector: the fault plan can delay an arrival (spec
+    // "barrier.stall=<ms>"), turning this thread into the lost party the
+    // stall timeout diagnoses. The delay happens BEFORE arriving, so the
+    // other waiters see a genuine straggler.
+    if (fault::active()) {
+      std::int64_t delay_ms = 0;
+      if (fault::should_fire_value(fault::kSiteBarrierStall, -1, &delay_ms)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms > 0 ? delay_ms : 1000));
+      }
+    }
+#endif
     if (aborted_.load(std::memory_order_acquire)) report_abort();
     const unsigned gen = gen_.load(std::memory_order_acquire);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
@@ -131,7 +145,8 @@ class SpinBarrier {
   [[noreturn]] void report_abort() const {
     ::bwfft::detail::throw_error(
         __FILE__, __LINE__,
-        "SpinBarrier aborted: a team thread failed; draining waiters");
+        "SpinBarrier aborted: a team thread failed; draining waiters",
+        ErrorCode::kWorkerLost);
   }
 
   [[noreturn]] void report_stall(unsigned gen, long timeout_ms) const {
@@ -144,7 +159,8 @@ class SpinBarrier {
         "SpinBarrier stall: only " + std::to_string(arrived) + " of " +
             std::to_string(parties_) + " parties arrived at generation " +
             std::to_string(gen) + " after " + std::to_string(timeout_ms) +
-            " ms — a team thread is lost or deadlocked");
+            " ms — a team thread is lost or deadlocked",
+        ErrorCode::kStall);
   }
 
   const int parties_;

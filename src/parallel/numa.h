@@ -30,7 +30,12 @@ class NumaArray {
     BWFFT_CHECK(domains >= 1 && elems_per_domain >= 0, "bad NUMA array shape");
     slabs_.reserve(static_cast<std::size_t>(domains));
     for (int d = 0; d < domains; ++d) {
-      slabs_.emplace_back(static_cast<std::size_t>(elems_per_domain));
+      // NUMA-local preference with graceful fallback (fault site
+      // "alloc.numa"): on a real two-socket host the owning domain's
+      // threads first-touch their slab; on failure the slab degrades to
+      // plain aligned memory and only the bandwidth model is off.
+      slabs_.emplace_back(static_cast<std::size_t>(elems_per_domain),
+                          AllocPlacement::NumaLocal);
     }
   }
 

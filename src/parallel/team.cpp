@@ -1,7 +1,12 @@
 #include "parallel/team.h"
 
+#include <cstdio>
+#include <string>
+#include <system_error>
+
 #include "common/error.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "parallel/affinity.h"
 
 namespace bwfft {
@@ -13,10 +18,53 @@ ThreadTeam::ThreadTeam(int nthreads, std::vector<int> pin_cpus)
                   static_cast<int>(pin_cpus.size()) == nthreads,
               "pin_cpus must be empty or one entry per thread");
   workers_.reserve(static_cast<std::size_t>(nthreads));
-  for (int t = 0; t < nthreads; ++t) {
-    const int cpu = pin_cpus.empty() ? -1 : pin_cpus[static_cast<std::size_t>(t)];
-    workers_.emplace_back([this, t, cpu] { worker_loop(t, cpu); });
+  try {
+    for (int t = 0; t < nthreads; ++t) {
+      const int cpu =
+          pin_cpus.empty() ? -1 : pin_cpus[static_cast<std::size_t>(t)];
+      if (BWFFT_FAULT_POINT(fault::kSiteSpawnThread)) {
+        throw Error(ErrorCode::kWorkerLost,
+                    "injected thread-spawn failure (worker " +
+                        std::to_string(t) + " of " +
+                        std::to_string(nthreads) + ")");
+      }
+      workers_.emplace_back([this, t, cpu] { worker_loop(t, cpu); });
+    }
+  } catch (const Error&) {
+    shutdown_spawned();
+    throw;
+  } catch (const std::system_error& e) {
+    // std::thread construction failed (EAGAIN under thread-limit
+    // pressure). Surface it through the typed layer so the facade's
+    // recovery policy can re-plan with a smaller team.
+    shutdown_spawned();
+    throw Error(ErrorCode::kWorkerLost,
+                std::string("cannot spawn team thread: ") + e.what());
   }
+
+  // When a stall fault is scheduled, make sure the stall watchdog is
+  // armed even in release builds (where the default timeout is off) and
+  // tight enough to beat checked builds' 30 s default — an injected
+  // straggler must surface as kStall promptly, never as a hang.
+  if (fault::active() && (fault::site_armed(fault::kSiteBarrierStall) ||
+                          fault::site_armed(fault::kSitePipelineStall))) {
+    const long ms = barrier_.stall_timeout_ms();
+    if (ms == 0 || ms > 250) barrier_.set_stall_timeout_ms(250);
+  }
+}
+
+/// Shut down and join the workers spawned before a constructor failure;
+/// without this the std::thread destructors would call std::terminate.
+void ThreadTeam::shutdown_spawned() noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
 }
 
 ThreadTeam::~ThreadTeam() {
@@ -29,7 +77,19 @@ ThreadTeam::~ThreadTeam() {
 }
 
 void ThreadTeam::worker_loop(int tid, int pin_cpu) {
-  if (pin_cpu >= 0) pin_current_thread(pin_cpu);
+  if (pin_cpu >= 0 && !pin_current_thread(pin_cpu)) {
+    // Degradation policy: an unpinnable thread runs unpinned. One
+    // process-wide warning (not one per thread) tells the operator the
+    // paper's pairing is off; pin_failures() exposes the count.
+    pin_failures_.fetch_add(1, std::memory_order_relaxed);
+    fault::note_degrade("affinity pin rejected; thread runs unpinned");
+    static std::once_flag warn_once;
+    std::call_once(warn_once, [] {
+      std::fprintf(stderr,
+                   "bwfft: warning: thread pinning unavailable; "
+                   "team runs unpinned (soft-DMA pairing degraded)\n");
+    });
+  }
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;

@@ -7,6 +7,7 @@
 // reused across invocations; each may be pinned to a logical CPU.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -22,7 +23,11 @@ namespace bwfft {
 class ThreadTeam {
  public:
   /// Create `nthreads` workers. `pin_cpus`, if non-empty, gives the logical
-  /// CPU for each worker (best effort).
+  /// CPU for each worker (best effort: a failed pin leaves that worker
+  /// unpinned, counted in pin_failures(), with a one-time process
+  /// warning). Throws bwfft::Error(kWorkerLost) when a worker cannot be
+  /// spawned — already-spawned workers are shut down and joined first, so
+  /// a failed construction never leaks threads.
   explicit ThreadTeam(int nthreads, std::vector<int> pin_cpus = {});
   ~ThreadTeam();
 
@@ -41,15 +46,23 @@ class ThreadTeam {
   /// Team-wide barrier usable inside run() bodies.
   SpinBarrier& barrier() { return barrier_; }
 
+  /// Workers whose affinity pin was rejected and who run unpinned (the
+  /// graceful-degradation path of a failed pthread_setaffinity_np).
+  int pin_failures() const {
+    return pin_failures_.load(std::memory_order_relaxed);
+  }
+
   /// Split [0, total) into size() near-equal chunks; returns [begin,end)
   /// for this tid. Chunks differ in size by at most one.
   static std::pair<idx_t, idx_t> chunk(idx_t total, int parts, int which);
 
  private:
   void worker_loop(int tid, int pin_cpu);
+  void shutdown_spawned() noexcept;
 
   std::vector<std::thread> workers_;
   SpinBarrier barrier_;
+  std::atomic<int> pin_failures_{0};
 
   std::mutex mu_;
   std::condition_variable cv_start_;

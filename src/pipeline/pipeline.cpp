@@ -1,7 +1,11 @@
 #include "pipeline/pipeline.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/error.h"
 #include "common/timer.h"
+#include "fault/fault.h"
 #include "layout/stream_copy.h"
 #include "obs/obs.h"
 
@@ -12,13 +16,32 @@ DoubleBufferPipeline::DoubleBufferPipeline(ThreadTeam& team, RolePlan roles,
     : team_(team),
       roles_(std::move(roles)),
       block_elems_(block_elems),
-      buffer_(static_cast<std::size_t>(2 * block_elems)) {
+      // The shared double buffer is the hottest multi-MB allocation in
+      // the system (every block passes through it twice); prefer huge
+      // pages for it, degrading to plain aligned memory when they are
+      // unavailable (fault site "alloc.huge").
+      buffer_(static_cast<std::size_t>(2 * block_elems),
+              AllocPlacement::HugePage) {
   BWFFT_CHECK(block_elems > 0, "pipeline block must be non-empty");
   BWFFT_CHECK(roles_.total == team.size(),
               "role plan size must match team size");
 }
 
 void DoubleBufferPipeline::wait_at_barrier([[maybe_unused]] idx_t step) {
+#if defined(BWFFT_FAULT)
+  // Straggler injector with epoch selection: "pipeline.stall/<step>=<ms>"
+  // delays one thread at the chosen pipeline step (the @skip field picks
+  // which of the arrivals at that step stalls). The team's stall watchdog
+  // then diagnoses the loss as kStall instead of hanging.
+  if (fault::active()) {
+    std::int64_t delay_ms = 0;
+    if (fault::should_fire_value(fault::kSitePipelineStall,
+                                 static_cast<long long>(step), &delay_ms)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(delay_ms > 0 ? delay_ms : 1000));
+    }
+  }
+#endif
   // One slice + BarrierWaitNs per thread per step: the wait time IS the
   // pipeline's load-imbalance signal (a starved role shows up here).
   BWFFT_OBS_TASK(obs_wait, "barrier", 'B', step, BarrierWaitNs);

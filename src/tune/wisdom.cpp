@@ -4,6 +4,12 @@
 #include <mutex>
 #include <utility>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "fault/fault.h"
+
 namespace bwfft::tune {
 
 namespace {
@@ -199,6 +205,11 @@ bool Wisdom::load_file(const std::string& path, std::string* err,
     if (err) *err = "read error on " + path;
     return false;
   }
+  if (BWFFT_FAULT_POINT(fault::kSiteWisdomCorrupt)) {
+    // Injected on-disk corruption: truncate mid-document, as a torn
+    // write from a crashed process without the atomic-rename path would.
+    text.resize(text.size() / 2);
+  }
   std::string parse_err;
   const Json doc = Json::parse(text, &parse_err);
   if (doc.is_null() && !parse_err.empty()) {
@@ -213,19 +224,64 @@ bool Wisdom::load_file(const std::string& path, std::string* err,
 }
 
 bool Wisdom::save_file(const std::string& path, std::string* err) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Crash-safe: write `<path>.tmp`, flush it to disk, then atomically
+  // rename over the destination. A crash between any two steps leaves
+  // either the previous file or a stray .tmp — never a half-written
+  // document at `path` itself.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) {
-    if (err) *err = "cannot write " + path;
+    if (err) *err = "cannot write " + tmp;
     return false;
   }
   const std::string text = to_json().dump(2) + "\n";
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::size_t want = text.size();
+  const bool torn = BWFFT_FAULT_POINT(fault::kSiteWisdomTorn);
+  if (torn) want /= 2;  // simulate a crash mid-write of the temp file
+  bool ok = std::fwrite(text.data(), 1, want, f) == want;
+  if (ok && !torn) {
+    ok = std::fflush(f) == 0;
+#ifndef _WIN32
+    if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  }
   const bool closed = std::fclose(f) == 0;
-  if (!ok || !closed) {
-    if (err) *err = "short write to " + path;
+  if (!ok || !closed || torn) {
+    // A real short write cleans up; the injected tear simulates a crash
+    // and leaves the partial .tmp behind — loaders never look at it.
+    if (!torn) std::remove(tmp.c_str());
+    if (err) {
+      *err = torn ? "injected torn write to " + tmp
+                  : "short write to " + tmp;
+    }
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (err) *err = "cannot rename " + tmp + " over " + path;
     return false;
   }
   return true;
+}
+
+bool load_wisdom_file_guarded(Wisdom* store, const std::string& path,
+                              std::string* err, int* skipped) {
+  // Probe first so a merely missing file is not treated as corruption.
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (!probe) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  std::fclose(probe);
+  if (store->load_file(path, err, skipped)) return true;
+  // The file exists but does not parse as wisdom: quarantine it so the
+  // next run starts clean and re-tunes instead of tripping over it again.
+  const std::string quarantine = path + ".corrupt";
+  std::remove(quarantine.c_str());
+  std::rename(path.c_str(), quarantine.c_str());
+  fault::note_degrade("corrupt wisdom file quarantined; planner re-tunes");
+  if (err) *err += " (quarantined to " + quarantine + ")";
+  return false;
 }
 
 // ---------------------------------------------------------------------------

@@ -84,6 +84,10 @@ class Wisdom {
   /// false with a diagnostic, leaving the store untouched.
   bool load_file(const std::string& path, std::string* err,
                  int* skipped = nullptr);
+
+  /// Crash-safe save: writes `<path>.tmp`, fsyncs, then atomically
+  /// renames over `path`, so a crash mid-save can never leave a torn
+  /// document where loaders look.
   bool save_file(const std::string& path, std::string* err) const;
 
  private:
@@ -91,6 +95,14 @@ class Wisdom {
                          const std::string& fingerprint);
   std::map<std::string, WisdomEntry> entries_;
 };
+
+/// Load with quarantine: like Wisdom::load_file, but a file that exists
+/// and fails to parse is moved aside to `<path>.corrupt` so the next run
+/// starts clean and re-tunes instead of tripping over it again. A merely
+/// missing file is not quarantined. Returns false with the diagnostic on
+/// any failure.
+bool load_wisdom_file_guarded(Wisdom* store, const std::string& path,
+                              std::string* err, int* skipped = nullptr);
 
 /// Process-wide wisdom shared by every EngineKind::Auto resolution (a
 /// mutex serialises access; safe from concurrent plan constructions).

@@ -1,0 +1,256 @@
+// Tests for the fault-injection harness itself: the BWFFT_FAULTS spec
+// grammar, the skip/count/ctx/value firing semantics, the aggregate
+// robustness tallies, and the typed error layer the harness reports
+// through (ErrorCode / Status / Error).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "fault/fault.h"
+#include "obs/obs.h"
+
+namespace bwfft::fault {
+namespace {
+
+/// Every test starts and ends with no plan installed and zeroed tallies,
+/// so tests cannot leak injected faults into each other.
+class FaultHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear();
+    reset_stats();
+  }
+  void TearDown() override {
+    clear();
+    reset_stats();
+  }
+  void arm(const std::string& spec) {
+    std::string err;
+    ASSERT_TRUE(set_plan_from_spec(spec, &err)) << err;
+  }
+};
+
+TEST_F(FaultHarnessTest, ParseAcceptsTheFullGrammar) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(plan.parse("alloc.huge", &err)) << err;
+  ASSERT_EQ(1u, plan.specs.size());
+  EXPECT_EQ("alloc.huge", plan.specs[0].site);
+  EXPECT_EQ(-1, plan.specs[0].ctx);
+  EXPECT_EQ(0, plan.specs[0].skip);
+  EXPECT_EQ(1, plan.specs[0].count);
+  EXPECT_EQ(0, plan.specs[0].value);
+
+  ASSERT_TRUE(plan.parse("pipeline.stall/3@2:5=500", &err)) << err;
+  ASSERT_EQ(1u, plan.specs.size());
+  EXPECT_EQ("pipeline.stall", plan.specs[0].site);
+  EXPECT_EQ(3, plan.specs[0].ctx);
+  EXPECT_EQ(2, plan.specs[0].skip);
+  EXPECT_EQ(5, plan.specs[0].count);
+  EXPECT_EQ(500, plan.specs[0].value);
+
+  ASSERT_TRUE(plan.parse("pin:*;wisdom.torn;alloc.numa:2", &err)) << err;
+  ASSERT_EQ(3u, plan.specs.size());
+  EXPECT_EQ(-1, plan.specs[0].count);  // ':*' = every hit
+  EXPECT_EQ("wisdom.torn", plan.specs[1].site);
+  EXPECT_EQ(2, plan.specs[2].count);
+
+  // Empty segments are tolerated; an empty plan parses to no specs.
+  ASSERT_TRUE(plan.parse("pin;;spawn.thread;", &err)) << err;
+  EXPECT_EQ(2u, plan.specs.size());
+  ASSERT_TRUE(plan.parse("", &err)) << err;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST_F(FaultHarnessTest, ParseRejectsMalformedSpecs) {
+  FaultPlan plan;
+  std::string err;
+  EXPECT_FALSE(plan.parse(":3", &err));  // no site name
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(plan.parse("pin/abc", &err));    // non-numeric ctx
+  EXPECT_FALSE(plan.parse("pin/-1", &err));     // negative ctx
+  EXPECT_FALSE(plan.parse("pin@x", &err));      // non-numeric skip
+  EXPECT_FALSE(plan.parse("pin:0", &err));      // count must be >= 1
+  EXPECT_FALSE(plan.parse("pin:", &err));       // empty count
+  EXPECT_FALSE(plan.parse("pin=zz", &err));     // non-numeric value
+  EXPECT_FALSE(plan.parse("pin;bad site", &err));  // space in site
+  // One malformed spec fails the whole parse (no partial installs).
+  EXPECT_FALSE(plan.parse("alloc.huge;pin:", &err));
+}
+
+TEST_F(FaultHarnessTest, DefaultSpecFiresExactlyOnce) {
+  arm("spawn.thread");
+  EXPECT_TRUE(active());
+  EXPECT_TRUE(should_fire(kSiteSpawnThread));
+  EXPECT_FALSE(should_fire(kSiteSpawnThread));
+  EXPECT_FALSE(should_fire(kSiteSpawnThread));
+  EXPECT_EQ(1u, fired_count(kSiteSpawnThread));
+  EXPECT_EQ(1u, injected_count());
+  // Other sites are unaffected.
+  EXPECT_FALSE(should_fire(kSitePin));
+  EXPECT_EQ(0u, fired_count(kSitePin));
+}
+
+TEST_F(FaultHarnessTest, SkipAndCountSelectAHitWindow) {
+  arm("alloc.huge@2:2");
+  EXPECT_FALSE(should_fire(kSiteAllocHuge));  // hit 1: skipped
+  EXPECT_FALSE(should_fire(kSiteAllocHuge));  // hit 2: skipped
+  EXPECT_TRUE(should_fire(kSiteAllocHuge));   // hit 3: fires
+  EXPECT_TRUE(should_fire(kSiteAllocHuge));   // hit 4: fires
+  EXPECT_FALSE(should_fire(kSiteAllocHuge));  // hit 5: window over
+  EXPECT_EQ(2u, fired_count(kSiteAllocHuge));
+}
+
+TEST_F(FaultHarnessTest, StarCountFiresForever) {
+  arm("pin:*");
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(should_fire(kSitePin));
+  EXPECT_EQ(100u, fired_count(kSitePin));
+  EXPECT_EQ(100u, injected_count());
+}
+
+TEST_F(FaultHarnessTest, CtxFiltersWhichHitsMatch) {
+  arm("pipeline.stall/3:*");
+  EXPECT_FALSE(should_fire(kSitePipelineStall, 0));
+  EXPECT_FALSE(should_fire(kSitePipelineStall, 2));
+  EXPECT_TRUE(should_fire(kSitePipelineStall, 3));
+  EXPECT_TRUE(should_fire(kSitePipelineStall, 3));
+  EXPECT_FALSE(should_fire(kSitePipelineStall, 4));
+  // A ctx-less probe (-1) does not match a ctx-filtered spec.
+  EXPECT_FALSE(should_fire(kSitePipelineStall));
+}
+
+TEST_F(FaultHarnessTest, ValuePayloadIsDeliveredOnFire) {
+  arm("barrier.stall=750");
+  std::int64_t v = -1;
+  EXPECT_TRUE(should_fire_value(kSiteBarrierStall, -1, &v));
+  EXPECT_EQ(750, v);
+  v = -1;
+  EXPECT_FALSE(should_fire_value(kSiteBarrierStall, -1, &v));
+  EXPECT_EQ(-1, v);  // untouched when not firing
+}
+
+TEST_F(FaultHarnessTest, SiteArmedSeesSpecsThatHaveNotFired) {
+  EXPECT_FALSE(site_armed(kSiteBarrierStall));
+  arm("barrier.stall@1000");
+  EXPECT_TRUE(site_armed(kSiteBarrierStall));
+  EXPECT_FALSE(site_armed(kSitePin));
+  clear();
+  EXPECT_FALSE(site_armed(kSiteBarrierStall));
+  EXPECT_FALSE(active());
+}
+
+TEST_F(FaultHarnessTest, InstallingAPlanResetsSiteCounters) {
+  arm("pin");
+  EXPECT_TRUE(should_fire(kSitePin));
+  EXPECT_EQ(1u, fired_count(kSitePin));
+  arm("pin");  // re-install: hit/fire counters start over
+  EXPECT_EQ(0u, fired_count(kSitePin));
+  EXPECT_TRUE(should_fire(kSitePin));
+}
+
+TEST_F(FaultHarnessTest, TalliesAndNotesAccumulateAndReset) {
+  arm("pin:*");
+  (void)should_fire(kSitePin);
+  note_retry();
+  note_retry();
+  note_degrade("huge-page allocation unavailable; using plain memory");
+  note_degrade("huge-page allocation unavailable; using plain memory");
+  note_degrade("affinity pin rejected; thread runs unpinned");
+  EXPECT_EQ(1u, injected_count());
+  EXPECT_EQ(2u, retried_count());
+  EXPECT_EQ(3u, degraded_count());
+  // Notes deduplicate; tallies do not.
+  EXPECT_EQ(2u, degrade_notes().size());
+
+  const std::string rep = report();
+  EXPECT_NE(std::string::npos, rep.find("fault pin: fired 1 of 1 hits"));
+  EXPECT_NE(std::string::npos, rep.find("degraded: affinity pin rejected"));
+
+  reset_stats();
+  EXPECT_EQ(0u, injected_count());
+  EXPECT_EQ(0u, retried_count());
+  EXPECT_EQ(0u, degraded_count());
+  EXPECT_TRUE(degrade_notes().empty());
+  // The plan and its per-site counters survive a stats reset.
+  EXPECT_TRUE(active());
+  EXPECT_EQ(1u, fired_count(kSitePin));
+}
+
+TEST_F(FaultHarnessTest, ObsCountersMirrorTheFaultTallies) {
+  obs::reset_counters();
+  arm("pin:*");
+  (void)should_fire(kSitePin);
+  (void)should_fire(kSitePin);
+  note_retry();
+  note_degrade("mirror test degradation");
+  const obs::CounterSnapshot snap = obs::counters();
+  EXPECT_EQ(2u, snap[obs::Counter::FaultInjected]);
+  EXPECT_EQ(1u, snap[obs::Counter::FaultRetry]);
+  EXPECT_EQ(1u, snap[obs::Counter::FaultDegrade]);
+  EXPECT_STREQ("fault_injected",
+               obs::counter_name(obs::Counter::FaultInjected));
+  EXPECT_STREQ("fault_retry", obs::counter_name(obs::Counter::FaultRetry));
+  EXPECT_STREQ("fault_degrade",
+               obs::counter_name(obs::Counter::FaultDegrade));
+  // reset_counters also zeroes the fault tallies.
+  obs::reset_counters();
+  EXPECT_EQ(0u, injected_count());
+  EXPECT_EQ(0u, obs::counters()[obs::Counter::FaultInjected]);
+}
+
+TEST_F(FaultHarnessTest, InactiveHarnessNeverFires) {
+  EXPECT_FALSE(active());
+  EXPECT_FALSE(should_fire(kSiteAllocAligned));
+  EXPECT_FALSE(should_fire(kSiteAllocHuge));
+  EXPECT_EQ(0u, injected_count());
+}
+
+// ---------------------------------------------------------------------------
+// Typed error layer
+
+TEST(ErrorLayer, ErrorCarriesItsCode) {
+  const Error plain("old-style message");
+  EXPECT_EQ(ErrorCode::kBadPlan, plain.code());  // legacy default
+  const Error stall(ErrorCode::kStall, "worker never arrived");
+  EXPECT_EQ(ErrorCode::kStall, stall.code());
+  EXPECT_STREQ("worker never arrived", stall.what());
+}
+
+TEST(ErrorLayer, CheckThrowsBadPlanAssertThrowsInternal) {
+  try {
+    BWFFT_CHECK(false, "configuration rejected");
+    FAIL() << "BWFFT_CHECK did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(ErrorCode::kBadPlan, e.code());
+  }
+  try {
+    BWFFT_ASSERT(1 + 1 == 3);
+    FAIL() << "BWFFT_ASSERT did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(ErrorCode::kInternal, e.code());
+  }
+}
+
+TEST(ErrorLayer, StatusFormatsCodeAndMessage) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ErrorCode::kOk, ok.code());
+  EXPECT_EQ("ok", ok.str());
+
+  const Status st(ErrorCode::kStall, "2 of 4 parties arrived");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(ErrorCode::kStall, st.code());
+  EXPECT_EQ("stall: 2 of 4 parties arrived", st.str());
+
+  EXPECT_STREQ("alloc-failed", error_code_name(ErrorCode::kAllocFailed));
+  EXPECT_STREQ("worker-lost", error_code_name(ErrorCode::kWorkerLost));
+  EXPECT_STREQ("wisdom-corrupt",
+               error_code_name(ErrorCode::kWisdomCorrupt));
+  EXPECT_STREQ("affinity-unavailable",
+               error_code_name(ErrorCode::kAffinityUnavailable));
+}
+
+}  // namespace
+}  // namespace bwfft::fault

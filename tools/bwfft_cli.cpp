@@ -28,6 +28,7 @@
 #include "benchutil/metrics.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "fault/fault.h"
 #include "fft/double_buffer.h"
 #include "fft/fft.h"
 #include "fft/reference.h"
@@ -44,7 +45,7 @@ namespace {
                "usage: %s --dims KxNxM|NxM [--engine "
                "dbuf|stagepar|slab|pencil|reference|auto] [--threads P] "
                "[--compute PC] [--block ELEMS] [--mu MU] [--reps R] "
-               "[--inverse] [--verify] [--no-nt] [--stats] "
+               "[--inverse] [--verify] [--no-nt] [--stats] [--verbose] "
                "[--trace out.json] [--tune estimate|measure|exhaustive] "
                "[--wisdom file.json]\n",
                argv0);
@@ -87,7 +88,8 @@ int main(int argc, char** argv) {
     tune::Wisdom file_wisdom;
     std::string werr;
     int skipped = 0;
-    if (file_wisdom.load_file(a.wisdom_path, &werr, &skipped)) {
+    if (tune::load_wisdom_file_guarded(&file_wisdom, a.wisdom_path, &werr,
+                                       &skipped)) {
       if (skipped > 0) {
         std::fprintf(stderr, "wisdom: skipped %d malformed entries in %s\n",
                      skipped, a.wisdom_path.c_str());
@@ -129,23 +131,46 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  auto run_once = [&] {
+  // Runs go through the no-throw recovery API: an injected or real
+  // failure degrades the plan (fewer threads, plain memory, reference
+  // engine) instead of aborting the tool, and --verbose shows what the
+  // recovery layer did.
+  ExecReport rep;
+  auto run_once = [&]() -> Status {
     std::copy(original.begin(), original.end(), in.begin());
-    if (plan2) {
-      plan2->execute(in.data(), out.data());
-    } else {
-      plan3->execute(in.data(), out.data());
-    }
+    return plan2 ? plan2->try_execute(in.data(), out.data(), &rep)
+                 : plan3->try_execute(in.data(), out.data(), &rep);
   };
 
   double best = 1e30;
   for (int r = 0; r < a.reps; ++r) {
     Timer t;
-    run_once();
+    const Status st = run_once();
+    if (!st.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n", st.str().c_str());
+      const std::string freport = fault::report();
+      if (!freport.empty()) std::fprintf(stderr, "%s", freport.c_str());
+      return 1;
+    }
     best = std::min(best, t.seconds());
   }
   std::printf("best of %d: %.3f ms, %.2f pseudo-Gflop/s\n", a.reps,
               best * 1e3, fft_gflops(static_cast<double>(total), best));
+
+  if (a.verbose) {
+    std::printf("status: %s (engine=%s, threads=%d, retries=%d)\n",
+                rep.status.str().c_str(), rep.engine.c_str(),
+                rep.threads_used, rep.retries);
+    // fault::report() covers both the fired injection sites and the
+    // degradation notes (the same lines ExecReport::degradations carries).
+    const std::string freport = fault::report();
+    if (!freport.empty()) std::printf("%s", freport.c_str());
+    std::printf(
+        "faults injected=%llu retries=%llu degradations=%llu\n",
+        static_cast<unsigned long long>(fault::injected_count()),
+        static_cast<unsigned long long>(fault::retried_count()),
+        static_cast<unsigned long long>(fault::degraded_count()));
+  }
 
   // Observed replay: one extra execution with counters zeroed and the
   // slice recorder armed. Kept out of the timed loop so the published
@@ -153,7 +178,10 @@ int main(int argc, char** argv) {
   if (a.stats || !a.trace_path.empty()) {
     obs::reset_counters();
     obs::start_trace();
-    run_once();
+    if (const Status st = run_once(); !st.ok()) {
+      std::fprintf(stderr, "observed replay failed: %s\n", st.str().c_str());
+      return 1;
+    }
     obs::stop_trace();
     const std::vector<obs::Slice> slices = obs::drain_trace();
 

@@ -93,7 +93,8 @@ int main(int argc, char** argv) {
     tune::Wisdom file_wisdom;
     std::string werr;
     int skipped = 0;
-    if (file_wisdom.load_file(wisdom_path, &werr, &skipped)) {
+    if (tune::load_wisdom_file_guarded(&file_wisdom, wisdom_path, &werr,
+                                       &skipped)) {
       if (skipped > 0) {
         std::fprintf(stderr, "wisdom: skipped %d malformed entries\n",
                      skipped);

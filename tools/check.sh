@@ -6,6 +6,8 @@
 #   ./tools/check.sh tsan       # just TSan
 #   ./tools/check.sh quick      # plain build: tier-1 suite + bench smoke
 #   ./tools/check.sh --quick    # same as quick
+#   ./tools/check.sh faults     # ASan+UBSan: fault tests, then the tier-1
+#                               # suite once per BWFFT_FAULTS fault family
 #
 # Each configuration gets its own build tree (build-asan/, build-tsan/,
 # build-quick/) so the trees can be rebuilt incrementally; suppressions/
@@ -20,6 +22,13 @@
 # the emitted BENCH json against the bwfft-bench-v1 schema — and a tune
 # smoke: bwfft_tune twice against a temp wisdom file, asserting the
 # second run is wisdom-warmed ("wisdom: hit").
+#
+# The faults configuration reuses the ASan+UBSan tree: first the targeted
+# `ctest -L fault` suite (spawn/stall injections live there — they need a
+# harness that expects the failure), then the ENTIRE tier-1 suite once per
+# always-recoverable fault family with BWFFT_FAULTS exported, proving that
+# persistent alloc/pin/wisdom failures degrade every test in the tree to
+# the fallback path without a single wrong result or leak.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -77,12 +86,50 @@ run_quick() {
   echo "=== [quick] clean ==="
 }
 
+run_faults() {
+  local build="$ROOT/build-asan"
+  echo "=== [faults] configure: -DBWFFT_SANITIZE=address;undefined ==="
+  cmake -B "$build" -S "$ROOT" -DBWFFT_SANITIZE="address;undefined" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== [faults] build ==="
+  cmake --build "$build" -j "$JOBS"
+  (
+    cd "$build"
+    export ASAN_OPTIONS="abort_on_error=1:detect_stack_use_after_return=1"
+    export LSAN_OPTIONS="suppressions=$ROOT/suppressions/asan.supp"
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$ROOT/suppressions/ubsan.supp"
+
+    # Targeted injections first: the spawn/stall/recovery tests install
+    # their own fault plans and assert the exact degradation taken.
+    echo "=== [faults] ctest -L fault ==="
+    ctest -L fault --output-on-failure -j "$JOBS"
+
+    # Then the whole tier-1 suite under each always-recoverable family:
+    # every test must pass unchanged while the preferred path fails on
+    # every hit. The fault-labeled tests are excluded (they ran above and
+    # manage their own plans); the wisdom families also exclude the tune
+    # directory, whose persistence tests intentionally assert the
+    # healthy save path.
+    local fam exclude
+    for fam in "alloc.huge:*" "alloc.numa:*" "pin:*" \
+               "wisdom.torn:*" "wisdom.corrupt:*"; do
+      exclude="fault"
+      case "$fam" in wisdom.*) exclude="fault|tune" ;; esac
+      echo "=== [faults] ctest -L tier1 with BWFFT_FAULTS=\"$fam\" ==="
+      BWFFT_FAULTS="$fam" ctest -L tier1 -LE "$exclude" \
+          --output-on-failure -j "$JOBS"
+    done
+  )
+  echo "=== [faults] clean ==="
+}
+
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
     asan) run_config asan "address;undefined" ;;
     tsan) run_config tsan "thread" ;;
     quick|--quick) run_quick ;;
-    *) echo "unknown config '$cfg' (expected: asan, tsan, quick)" >&2; exit 2 ;;
+    faults) run_faults ;;
+    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults)" >&2; exit 2 ;;
   esac
 done
 
