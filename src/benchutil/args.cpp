@@ -148,6 +148,20 @@ bool parse_args(const std::vector<std::string>& args, Options* out,
         return false;
       }
       o.tune = token;
+    } else if (arg == "--serve") {
+      o.serve = true;
+    } else if (arg == "--requests") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.requests = static_cast<int>(v);
+    } else if (arg == "--producers") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.producers = static_cast<int>(v);
+    } else if (arg == "--queue") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.queue_cap = static_cast<int>(v);
     } else if (arg == "--wisdom") {
       std::string token;
       if (!next(&token)) return false;

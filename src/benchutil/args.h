@@ -34,6 +34,10 @@ struct Options {
   std::string trace_path;  ///< empty = no chrome-trace export
   std::string tune;        ///< --tune level; empty = no autotuning
   std::string wisdom_path; ///< --wisdom file; empty = no persistence
+  bool serve = false;      ///< run the exec::BatchExecutor serving demo
+  int requests = 64;       ///< --requests per --serve session
+  int producers = 4;       ///< concurrent --serve submitter threads
+  int queue_cap = 256;     ///< --queue submission-queue capacity
 };
 
 /// Strict base-10 integer: the whole token must parse and the value must

@@ -36,6 +36,8 @@ enum class ErrorCode : int {
   kWorkerLost,            ///< a team thread died or could not be spawned
   kStall,                 ///< a worker never reached a team barrier
   kWisdomCorrupt,         ///< wisdom file failed to parse (torn write)
+  kQueueFull,             ///< exec service rejected a submit (backpressure)
+  kTimeout,               ///< request deadline expired before completion
   kInternal,              ///< library invariant violated (a bwfft bug)
 };
 
@@ -91,6 +93,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kWorkerLost: return "worker-lost";
     case ErrorCode::kStall: return "stall";
     case ErrorCode::kWisdomCorrupt: return "wisdom-corrupt";
+    case ErrorCode::kQueueFull: return "queue-full";
+    case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";

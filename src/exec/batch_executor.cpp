@@ -1,0 +1,317 @@
+#include "exec/batch_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/topology.h"
+#include "obs/obs.h"
+#include "parallel/roles.h"
+
+namespace bwfft::exec {
+
+namespace {
+
+ExecReport rejected_report(ErrorCode code, const std::string& what) {
+  ExecReport rep;
+  rep.status = Status(code, what);
+  return rep;
+}
+
+bool has_deadline(const Request& req) {
+  return req.deadline.time_since_epoch().count() != 0;
+}
+
+bool deadline_passed(const Request& req) {
+  return has_deadline(req) && Clock::now() >= req.deadline;
+}
+
+}  // namespace
+
+std::string BatchExecutor::key_of(const Request& req) {
+  std::string k;
+  for (std::size_t i = 0; i < req.dims.size(); ++i) {
+    k += (i ? "x" : "") + std::to_string(req.dims[i]);
+  }
+  k += req.dir == Direction::Forward ? ":f" : ":i";
+  return k;
+}
+
+FftOptions BatchExecutor::plan_options() const {
+  FftOptions o = opts_.plan;
+  o.threads = threads_;
+  o.pin_threads = opts_.pin_threads;
+  // Every plan draws from the TeamPool, so plans whose role split matches
+  // the executor's persistent team attach to exactly it — the team is
+  // spawned once for the life of the service.
+  o.team_pool = true;
+  return o;
+}
+
+BatchExecutor::BatchExecutor(ServeOptions opts)
+    : opts_(opts), queue_(opts.queue_capacity) {
+  BWFFT_CHECK(opts_.queue_capacity >= 1, "queue capacity must be >= 1");
+  BWFFT_CHECK(opts_.max_batch >= 1, "max_batch must be >= 1");
+  threads_ = opts_.threads > 0 ? opts_.threads
+                               : host_topology().total_threads();
+
+  // Pre-spawn the persistent team the default engine will ask for: the
+  // double-buffer role plan's pin list for this thread budget. Plans with
+  // other pin shapes (unpinned engines, degraded budgets) pool their own
+  // teams on first use; this one is the steady-state workhorse.
+  const int pc = opts_.plan.compute_threads >= 0
+                     ? opts_.plan.compute_threads
+                     : (threads_ <= 1 ? threads_ : threads_ / 2);
+  const RolePlan roles = make_role_plan(threads_, pc, opts_.plan.topo);
+  team_cpus_ = opts_.pin_threads ? roles.cpu : std::vector<int>{};
+  team_ = parallel::TeamPool::global().acquire(threads_, team_cpus_);
+
+  if (opts_.cache) {
+    cache_ = opts_.cache;
+  } else {
+    owned_cache_ = std::make_unique<tune::PlanCache>();
+    cache_ = owned_cache_.get();
+  }
+  paused_ = opts_.start_paused;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+BatchExecutor::~BatchExecutor() { shutdown(); }
+
+std::future<ExecReport> BatchExecutor::submit(Request req) {
+  Job job;
+  job.enqueue_ns = obs::now_ns();
+  job.key = key_of(req);
+  job.req = std::move(req);
+  std::future<ExecReport> fut = job.promise.get_future();
+
+  const bool with_deadline = has_deadline(job.req);
+  const Clock::time_point deadline = job.req.deadline;
+  std::promise<ExecReport>* promise = &job.promise;
+  bool pushed;
+  if (with_deadline) {
+    // Backpressure with a bound: wait for space until the request's
+    // deadline, then reject. A deadline already behind us rejects
+    // immediately (kTimeout — the request can never start in time).
+    if (Clock::now() >= deadline) {
+      BWFFT_OBS_COUNT(ExecTimeout, 1);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.timed_out;
+      }
+      promise->set_value(
+          rejected_report(ErrorCode::kTimeout, "deadline expired on submit"));
+      return fut;
+    }
+    pushed = queue_.push_until(std::move(job), deadline);
+  } else {
+    pushed = queue_.try_push(std::move(job));
+  }
+  if (!pushed) {
+    // NB: job was not consumed on a failed push? It was moved-from only on
+    // success; BoundedQueue moves only after deciding to accept, so the
+    // promise here is still ours to fulfil.
+    BWFFT_OBS_COUNT(ExecReject, 1);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.rejected_full;
+    }
+    promise->set_value(rejected_report(
+        ErrorCode::kQueueFull,
+        queue_.closed() ? "executor shut down" : "submission queue full"));
+    return fut;
+  }
+  BWFFT_OBS_COUNT(ExecSubmit, 1);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.submitted;
+    stats_.peak_queue_depth =
+        std::max(stats_.peak_queue_depth, queue_.size());
+  }
+  return fut;
+}
+
+Status BatchExecutor::execute_many(std::vector<Request> reqs,
+                                   std::vector<ExecReport>* reports) {
+  std::vector<std::future<ExecReport>> futures;
+  futures.reserve(reqs.size());
+  for (Request& r : reqs) {
+    if (!has_deadline(r)) {
+      // Blocking semantics: wait for queue space rather than bouncing.
+      Job job;
+      job.enqueue_ns = obs::now_ns();
+      job.key = key_of(r);
+      job.req = std::move(r);
+      futures.push_back(job.promise.get_future());
+      std::promise<ExecReport>* promise = &job.promise;
+      if (!queue_.push_wait(std::move(job))) {
+        promise->set_value(
+            rejected_report(ErrorCode::kQueueFull, "executor shut down"));
+      } else {
+        BWFFT_OBS_COUNT(ExecSubmit, 1);
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.submitted;
+        stats_.peak_queue_depth =
+            std::max(stats_.peak_queue_depth, queue_.size());
+      }
+    } else {
+      futures.push_back(submit(std::move(r)));
+    }
+  }
+  Status first;
+  if (reports) reports->resize(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ExecReport rep = futures[i].get();
+    if (first.ok() && !rep.status.ok()) first = rep.status;
+    if (reports) (*reports)[i] = std::move(rep);
+  }
+  return first;
+}
+
+void BatchExecutor::pause() {
+  std::lock_guard<std::mutex> lk(pause_mu_);
+  paused_ = true;
+}
+
+void BatchExecutor::resume() {
+  {
+    std::lock_guard<std::mutex> lk(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void BatchExecutor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(pause_mu_);
+    if (stopping_) {
+      // Second caller (or the destructor after an explicit shutdown):
+      // nothing to do once the dispatcher is joined.
+      if (!dispatcher_.joinable()) return;
+    }
+    stopping_ = true;
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+  queue_.close();  // pop() drains the backlog, then returns nullopt
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ExecStats BatchExecutor::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ExecStats s = stats_;
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+void BatchExecutor::dispatch_loop() {
+  std::uint64_t batch_seq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(pause_mu_);
+      pause_cv_.wait(lk, [&] { return !paused_ || stopping_; });
+    }
+    std::optional<Job> first = queue_.pop();
+    if (!first) return;  // closed and drained
+
+    // Coalesce: opportunistically drain up to max_batch-1 followers, then
+    // group same-shape requests so each group runs its cached plan
+    // back-to-back (one plan lookup, warm twiddles, warm team).
+    std::vector<Job> jobs;
+    jobs.push_back(std::move(*first));
+    while (jobs.size() < opts_.max_batch) {
+      std::optional<Job> next = queue_.try_pop();
+      if (!next) break;
+      jobs.push_back(std::move(*next));
+    }
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const Job& a, const Job& b) { return a.key < b.key; });
+
+    std::size_t lo = 0;
+    while (lo < jobs.size()) {
+      std::size_t hi = lo + 1;
+      while (hi < jobs.size() && jobs[hi].key == jobs[lo].key) ++hi;
+      std::vector<Job> group(std::make_move_iterator(jobs.begin() + lo),
+                             std::make_move_iterator(jobs.begin() + hi));
+      {
+        BWFFT_OBS_SCOPE(obs_batch, "exec.batch", 'X', ++batch_seq);
+        run_batch(group);
+      }
+      lo = hi;
+    }
+  }
+}
+
+void BatchExecutor::run_batch(std::vector<Job>& batch) {
+  BWFFT_OBS_COUNT(ExecBatch, 1);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.batches;
+    stats_.batched_requests += batch.size();
+    stats_.max_batch_occupancy =
+        std::max(stats_.max_batch_occupancy, batch.size());
+  }
+
+  // One plan for the whole group. Plan construction already runs the
+  // recovering builder inside CachedPlan; if even that fails, the group
+  // fails — and the dispatcher moves on to the next batch, which is the
+  // degradation the service promises (a bad shape cannot take the
+  // process down).
+  std::shared_ptr<tune::CachedPlan> plan;
+  Status build_status;
+  try {
+    plan = cache_->acquire(batch.front().req.dims, batch.front().req.dir,
+                           plan_options());
+  } catch (const Error& e) {
+    build_status = Status(e.code(), e.what());
+  } catch (const std::exception& e) {
+    build_status = Status(ErrorCode::kInternal, e.what());
+  }
+
+  for (Job& job : batch) {
+    const std::uint64_t start_ns = obs::now_ns();
+    const std::uint64_t waited = start_ns - job.enqueue_ns;
+    BWFFT_OBS_COUNT(ExecQueueNs, waited);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.queue_wait.add(waited);
+    }
+    if (deadline_passed(job.req)) {
+      BWFFT_OBS_COUNT(ExecTimeout, 1);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.timed_out;
+      }
+      finish(job,
+             rejected_report(ErrorCode::kTimeout,
+                             "deadline expired before execution"),
+             obs::now_ns());
+      continue;
+    }
+    if (!plan) {
+      finish(job, rejected_report(build_status.code(), build_status.message()),
+             obs::now_ns());
+      continue;
+    }
+    ExecReport rep;
+    BWFFT_OBS_SCOPE(obs_req, "exec.request", 'X', plan->total_elems());
+    rep.status = plan->try_execute(job.req.in, job.req.out, &rep);
+    finish(job, rep, obs::now_ns());
+  }
+}
+
+void BatchExecutor::finish(Job& job, const ExecReport& rep,
+                           std::uint64_t end_ns) {
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.end_to_end.add(end_ns - job.enqueue_ns);
+    if (rep.status.ok()) {
+      ++stats_.completed;
+    } else if (rep.status.code() != ErrorCode::kTimeout) {
+      ++stats_.failed;
+    }
+  }
+  if (rep.status.ok()) BWFFT_OBS_COUNT(ExecComplete, 1);
+  job.promise.set_value(rep);
+}
+
+}  // namespace bwfft::exec

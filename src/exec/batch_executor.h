@@ -1,0 +1,205 @@
+// Persistent batch-execution service — the serving layer.
+//
+// The facades (Fft2d/Fft3d) assume one exclusive caller per machine:
+// every plan spawns its own thread team, so concurrent callers
+// oversubscribe the cores and pay plan + thread startup per call. The
+// BatchExecutor is the multi-tenant answer: it owns one persistent,
+// pinned thread team (drawn from parallel::TeamPool, sized from
+// host_topology()) and a bounded MPMC submission queue. Producers call
+// submit(request) -> std::future<ExecReport>; a dispatcher thread pops
+// requests, coalesces same-shape neighbours into batches, runs each
+// batch through a shared tune::PlanCache plan (plans built once, teams
+// never respawned) and fulfils the futures.
+//
+// Backpressure and deadlines use the typed-error layer:
+//   * a full queue rejects the submit with kQueueFull (immediately, or —
+//     when the request carries a deadline — after waiting for space until
+//     that deadline);
+//   * a request whose deadline passes before its batch starts is
+//     completed with kTimeout without executing.
+// Execution failures route through the PR-4 recovery policy
+// (CachedPlan::try_execute): a stalled or lost worker degrades that
+// plan — fewer threads, then the reference engine — so one bad request
+// degrades instead of killing the service.
+//
+// Instrumented with obs counters (exec_submit/reject/timeout/complete/
+// batch, exec_queue_ns) plus local queue-wait and end-to-end latency
+// histograms, and a chrome-trace track for the dispatcher
+// (docs/INTERNALS.md §11).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "exec/queue.h"
+#include "fft/fft.h"
+#include "fft/options.h"
+#include "parallel/team_pool.h"
+#include "tune/plan_cache.h"
+
+namespace bwfft::exec {
+
+using Clock = std::chrono::steady_clock;
+
+/// One transform request. `in`/`out` stay owned by the caller and must
+/// outlive the future's completion; engines may clobber `in` (the
+/// FFTW_DESTROY_INPUT convention).
+struct Request {
+  std::vector<idx_t> dims;  ///< 2 or 3 entries, slowest first
+  Direction dir = Direction::Forward;
+  cplx* in = nullptr;
+  cplx* out = nullptr;
+  /// Latest acceptable start time. Default (epoch zero) = no deadline.
+  /// Also bounds how long submit() waits for queue space.
+  Clock::time_point deadline{};
+};
+
+struct ServeOptions {
+  /// Thread budget of the persistent team; 0 = host_topology() total.
+  int threads = 0;
+  /// Pin the team per the role plan (the paper's compute/soft-DMA
+  /// pairing). Best effort, like every pin in the library.
+  bool pin_threads = true;
+  std::size_t queue_capacity = 256;
+  /// Most requests coalesced into one dispatch sweep.
+  std::size_t max_batch = 16;
+  /// Base options for every plan the service builds (engine, tune level,
+  /// block/packet knobs). threads/pin_threads/team_pool are overridden by
+  /// the executor so all plans share its persistent team.
+  FftOptions plan{};
+  /// Plan store; null = an executor-private cache.
+  tune::PlanCache* cache = nullptr;
+  /// Construct with the dispatcher parked (resume() starts it). Lets
+  /// tests fill the queue deterministically; a running service created
+  /// paused accepts submits but completes none until resumed.
+  bool start_paused = false;
+};
+
+/// Power-of-two-bucketed nanosecond histogram (bucket i covers
+/// [2^i, 2^{i+1}) ns). Coarse on purpose: serving latencies span six
+/// orders of magnitude, and a quantile within 2x is enough to see a
+/// regression.
+struct LatencyHistogram {
+  std::array<std::uint64_t, 64> bucket{};
+  std::uint64_t count = 0;
+
+  void add(std::uint64_t ns) {
+    int b = 0;
+    while ((std::uint64_t{1} << (b + 1)) <= ns && b < 63) ++b;
+    ++bucket[static_cast<std::size_t>(b)];
+    ++count;
+  }
+  /// Upper bound of the bucket holding quantile q (0 when empty).
+  std::uint64_t quantile_ns(double q) const {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      seen += bucket[b];
+      if (static_cast<double>(seen) >= target) {
+        return (std::uint64_t{1} << (b + 1)) - 1;
+      }
+    }
+    return ~std::uint64_t{0};
+  }
+};
+
+struct ExecStats {
+  std::uint64_t submitted = 0;      ///< accepted into the queue
+  std::uint64_t rejected_full = 0;  ///< kQueueFull backpressure rejections
+  std::uint64_t timed_out = 0;      ///< kTimeout deadline expiries
+  std::uint64_t completed = 0;      ///< futures fulfilled with ok status
+  std::uint64_t failed = 0;         ///< futures fulfilled with an error
+  std::uint64_t batches = 0;        ///< coalesced dispatches
+  std::uint64_t batched_requests = 0;  ///< requests across those batches
+  std::size_t max_batch_occupancy = 0; ///< largest same-shape batch seen
+  std::size_t queue_depth = 0;      ///< at snapshot time
+  std::size_t peak_queue_depth = 0;
+  LatencyHistogram queue_wait;  ///< enqueue -> dispatch start
+  LatencyHistogram end_to_end;  ///< enqueue -> future fulfilled
+
+  /// Mean requests per batch (batch occupancy).
+  double batch_occupancy() const {
+    return batches ? static_cast<double>(batched_requests) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(ServeOptions opts = {});
+  ~BatchExecutor();  // drains the queue, then stops
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Enqueue one request. The returned future is always eventually
+  /// fulfilled — with the execution's ExecReport, or with a kQueueFull /
+  /// kTimeout report when backpressure or the deadline rejected it.
+  std::future<ExecReport> submit(Request req);
+
+  /// Blocking convenience: submit every request (waiting for queue space,
+  /// bounded by each request's deadline) and wait for all results.
+  /// `reports`, if non-null, is resized to match. Returns the first
+  /// non-ok status, else Ok.
+  Status execute_many(std::vector<Request> reqs,
+                      std::vector<ExecReport>* reports = nullptr);
+
+  /// Stop dispatching (in-flight batch finishes). Queued and newly
+  /// submitted requests wait until resume(). Used for drain windows and
+  /// deterministic backpressure tests.
+  void pause();
+  void resume();
+
+  /// Reject new submits, execute everything already queued, stop the
+  /// dispatcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ExecStats stats() const;
+  int threads() const { return threads_; }
+  const tune::PlanCache& cache() const { return *cache_; }
+
+ private:
+  struct Job {
+    Request req;
+    std::promise<ExecReport> promise;
+    std::uint64_t enqueue_ns = 0;
+    std::string key;  // dims + direction: the coalescing identity
+  };
+
+  static std::string key_of(const Request& req);
+  FftOptions plan_options() const;
+  void dispatch_loop();
+  void run_batch(std::vector<Job>& batch);
+  void finish(Job& job, const ExecReport& rep, std::uint64_t end_ns);
+
+  ServeOptions opts_;
+  int threads_ = 0;
+  std::shared_ptr<ThreadTeam> team_;  // the persistent, pinned team
+  std::vector<int> team_cpus_;        // its pin list (for plan matching)
+  std::unique_ptr<tune::PlanCache> owned_cache_;
+  tune::PlanCache* cache_ = nullptr;
+  BoundedQueue<Job> queue_;
+
+  mutable std::mutex stats_mu_;
+  ExecStats stats_;
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace bwfft::exec

@@ -1,0 +1,129 @@
+// Bounded MPMC queue — the submission channel of the exec service.
+//
+// Multiple producer threads (request handlers) push, multiple consumers
+// (the dispatcher) pop. The queue is deliberately a mutex + two condition
+// variables over a ring: submissions are milliseconds-scale FFT requests,
+// so queue overhead is noise, and the simple implementation is trivially
+// correct under TSan — which matters more here than lock-free throughput.
+// Capacity is fixed at construction; a full queue is the backpressure
+// signal the BatchExecutor turns into kQueueFull.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bwfft::exec {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking push. False when the queue is full or closed.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Push, waiting for space until `deadline`. False on a queue still
+  /// full at the deadline or closed while waiting.
+  bool push_until(T&& item, Clock::time_point deadline) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!cv_push_.wait_until(lk, deadline, [&] {
+            return closed_ || items_.size() < capacity_;
+          })) {
+        return false;
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Push, waiting for space indefinitely. False only when closed.
+  bool push_wait(T&& item) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_push_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item. Empty optional once the queue is
+  /// closed AND drained — the consumer's shutdown signal.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_pop_.wait(lk, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    cv_push_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop (batch coalescing uses this to drain followers).
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    cv_push_.notify_one();
+    return out;
+  }
+
+  /// Reject future pushes and wake every waiter. Items already queued
+  /// stay poppable (graceful drain).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;  // space became available
+  std::condition_variable cv_pop_;   // an item became available
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bwfft::exec

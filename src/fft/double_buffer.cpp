@@ -8,6 +8,7 @@
 #include "layout/rotate.h"
 #include "layout/stream_copy.h"
 #include "obs/obs.h"
+#include "parallel/team_pool.h"
 
 namespace bwfft {
 
@@ -42,8 +43,9 @@ DoubleBufferEngine::DoubleBufferEngine(std::vector<idx_t> dims, Direction dir,
                      ? opts_.compute_threads
                      : (p <= 1 ? p : p / 2);
   roles_ = make_role_plan(p, pc, opts_.topo);
-  team_ = std::make_unique<ThreadTeam>(
-      p, opts_.pin_threads ? roles_.cpu : std::vector<int>{});
+  team_ = parallel::make_team(
+      p, opts_.pin_threads ? roles_.cpu : std::vector<int>{},
+      opts_.team_pool);
 
   // Block size: the LLC policy, but always at least one row of the widest
   // stage so every stage tiles into whole rows.

@@ -66,7 +66,7 @@ class DoubleBufferEngine final : public MdEngine {
   FftOptions opts_;
   std::vector<StageGeometry> stages_;
   std::vector<std::shared_ptr<Fft1d>> ffts_;
-  std::unique_ptr<ThreadTeam> team_;
+  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
   RolePlan roles_;
   std::unique_ptr<DoubleBufferPipeline> pipeline_;
   AlignedBuffer<cplx> work_;  // 2D intermediate (huge-page preferred)

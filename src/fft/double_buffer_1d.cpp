@@ -6,6 +6,7 @@
 #include "fft/stage.h"
 #include "kernels/twiddle.h"
 #include "layout/stream_copy.h"
+#include "parallel/team_pool.h"
 
 namespace bwfft {
 
@@ -31,8 +32,9 @@ DoubleBuffer1d::DoubleBuffer1d(idx_t n, Direction dir, const FftOptions& opts)
   const int pc = opts_.compute_threads >= 0 ? opts_.compute_threads
                                             : (p <= 1 ? p : p / 2);
   roles_ = make_role_plan(p, pc, opts_.topo);
-  team_ = std::make_unique<ThreadTeam>(
-      p, opts_.pin_threads ? roles_.cpu : std::vector<int>{});
+  team_ = parallel::make_team(
+      p, opts_.pin_threads ? roles_.cpu : std::vector<int>{},
+      opts_.team_pool);
 
   idx_t block = opts_.block_elems > 0 ? opts_.block_elems
                                       : default_block_elems(opts_.topo);

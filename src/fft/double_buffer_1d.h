@@ -57,7 +57,7 @@ class DoubleBuffer1d {
   Direction dir_;
   FftOptions opts_;
   std::shared_ptr<Fft1d> fft_a_, fft_b_;
-  std::unique_ptr<ThreadTeam> team_;
+  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
   RolePlan roles_;
   std::unique_ptr<DoubleBufferPipeline> pipeline_;
   cvec col_roots_;  // w_N^q for q < b: stage-1 twiddle column generators

@@ -6,6 +6,7 @@
 #include "layout/rotate.h"
 #include "layout/stream_copy.h"
 #include "pipeline/pipeline.h"
+#include "parallel/team_pool.h"
 
 namespace bwfft {
 
@@ -35,7 +36,8 @@ DualSocketFft3d::DualSocketFft3d(idx_t k, idx_t n, idx_t m, Direction dir,
                      : (per_socket_threads_ <= 1 ? per_socket_threads_
                                                  : per_socket_threads_ / 2);
   socket_roles_ = make_role_plan(per_socket_threads_, pc, opts_.topo);
-  team_ = std::make_unique<ThreadTeam>(per_socket_threads_ * sk_);
+  team_ = parallel::make_team(per_socket_threads_ * sk_, {},
+                               opts_.team_pool);
 
   // Buffer policy: each socket has its own LLC, so each gets the usual
   // half-LLC double buffer.

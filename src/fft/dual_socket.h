@@ -62,7 +62,7 @@ class DualSocketFft3d {
   int sk_;
   std::array<StageGeometry, 3> stages_;  // per-socket local geometry
   std::vector<std::shared_ptr<Fft1d>> ffts_;
-  std::unique_ptr<ThreadTeam> team_;
+  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
   int per_socket_threads_ = 1;
   RolePlan socket_roles_;
   idx_t block_elems_ = 0;

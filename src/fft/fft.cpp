@@ -166,11 +166,14 @@ void halve_threads(FftOptions& opts) {
   opts.compute_threads = -1;
 }
 
-/// Engine construction for the facades. Recoverable construction
-/// failures (an injected or real spawn failure, placed-alloc exhaustion)
-/// degrade the options and try again instead of failing the plan;
-/// kBadPlan — the request itself is invalid — still throws.
-std::unique_ptr<MdEngine> build_engine_recovering(
+}  // namespace
+
+/// Engine construction for the facades and the exec/tune layers.
+/// Recoverable construction failures (an injected or real spawn failure,
+/// placed-alloc exhaustion) degrade the options and try again instead of
+/// failing the plan; kBadPlan — the request itself is invalid — still
+/// throws.
+std::unique_ptr<MdEngine> make_engine_recovering(
     const std::vector<idx_t>& dims, Direction dir, FftOptions& opts) {
   for (int attempt = 0;; ++attempt) {
     ErrorCode code = ErrorCode::kInternal;
@@ -202,13 +205,14 @@ std::unique_ptr<MdEngine> build_engine_recovering(
   }
 }
 
-/// Shared body of Fft2d/Fft3d::try_execute. Attempts the current engine;
-/// on failure classifies the error, degrades the stored options (so the
-/// fallback sticks for later calls), rebuilds and retries with a short
-/// backoff, bounded by kMaxRetries.
-Status try_execute_impl(const std::vector<idx_t>& dims, Direction dir,
-                        FftOptions& opts, std::unique_ptr<MdEngine>& engine,
-                        cplx* in, cplx* out, ExecReport* rep) {
+/// Shared body of Fft2d/Fft3d::try_execute and CachedPlan::try_execute.
+/// Attempts the current engine; on failure classifies the error, degrades
+/// the stored options (so the fallback sticks for later calls), rebuilds
+/// and retries with a short backoff, bounded by kMaxRetries.
+Status try_execute_recovering(const std::vector<idx_t>& dims, Direction dir,
+                              FftOptions& opts,
+                              std::unique_ptr<MdEngine>& engine, cplx* in,
+                              cplx* out, ExecReport* rep) {
   Status st;
   int retries = 0;
   for (int attempt = 0;; ++attempt) {
@@ -260,12 +264,10 @@ Status try_execute_impl(const std::vector<idx_t>& dims, Direction dir,
   return st;
 }
 
-}  // namespace
-
 Fft2d::Fft2d(idx_t n, idx_t m, Direction dir, FftOptions opts)
     : n_(n), m_(m), dir_(dir), opts_(std::move(opts)),
       nontemporal_(opts_.nontemporal) {
-  engine_ = build_engine_recovering({n_, m_}, dir_, opts_);
+  engine_ = make_engine_recovering({n_, m_}, dir_, opts_);
 }
 Fft2d::~Fft2d() = default;
 Fft2d::Fft2d(Fft2d&&) noexcept = default;
@@ -279,7 +281,8 @@ void Fft2d::execute(cplx* in, cplx* out) {
 }
 
 Status Fft2d::try_execute(cplx* in, cplx* out, ExecReport* rep) {
-  return try_execute_impl({n_, m_}, dir_, opts_, engine_, in, out, rep);
+  return try_execute_recovering({n_, m_}, dir_, opts_, engine_, in,
+                                out, rep);
 }
 
 void Fft2d::execute_inplace(cplx* data) {
@@ -293,7 +296,7 @@ const char* Fft2d::engine_name() const { return engine_->name(); }
 Fft3d::Fft3d(idx_t k, idx_t n, idx_t m, Direction dir, FftOptions opts)
     : k_(k), n_(n), m_(m), dir_(dir), opts_(std::move(opts)),
       nontemporal_(opts_.nontemporal) {
-  engine_ = build_engine_recovering({k_, n_, m_}, dir_, opts_);
+  engine_ = make_engine_recovering({k_, n_, m_}, dir_, opts_);
 }
 Fft3d::~Fft3d() = default;
 Fft3d::Fft3d(Fft3d&&) noexcept = default;
@@ -305,7 +308,8 @@ void Fft3d::execute(cplx* in, cplx* out) {
 }
 
 Status Fft3d::try_execute(cplx* in, cplx* out, ExecReport* rep) {
-  return try_execute_impl({k_, n_, m_}, dir_, opts_, engine_, in, out, rep);
+  return try_execute_recovering({k_, n_, m_}, dir_, opts_, engine_,
+                                in, out, rep);
 }
 
 void Fft3d::execute_inplace(cplx* data) {

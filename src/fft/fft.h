@@ -41,6 +41,26 @@ struct ExecReport {
   std::vector<std::string> degradations;  ///< fallbacks taken, one line each
 };
 
+/// Engine construction with the recovery policy of docs/INTERNALS.md §10:
+/// recoverable construction failures (spawn failure, placed-alloc
+/// exhaustion) degrade `opts` in place — halved thread budget, then the
+/// reference engine — and retry instead of failing the plan. kBadPlan
+/// still throws: the request itself is invalid.
+std::unique_ptr<MdEngine> make_engine_recovering(const std::vector<idx_t>& dims,
+                                                 Direction dir,
+                                                 FftOptions& opts);
+
+/// The shared no-throw execute-with-recovery body behind
+/// Fft2d/Fft3d::try_execute and tune::CachedPlan::try_execute: attempts
+/// `engine` (building it from `opts` if null); on failure classifies the
+/// error, degrades `opts` in place (sticky for later calls), rebuilds and
+/// retries with backoff, bounded. Returns the status of the last attempt;
+/// `rep` (optional) receives retries/threads/engine/degradations.
+Status try_execute_recovering(const std::vector<idx_t>& dims, Direction dir,
+                              FftOptions& opts,
+                              std::unique_ptr<MdEngine>& engine, cplx* in,
+                              cplx* out, ExecReport* rep = nullptr);
+
 /// 2D complex transform of an n x m row-major array.
 class Fft2d {
  public:

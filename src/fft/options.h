@@ -90,6 +90,14 @@ struct FftOptions {
   /// Pin team threads to the topology's suggested CPUs.
   bool pin_threads = false;
 
+  /// Draw the engine's thread team from the process-wide
+  /// parallel::TeamPool instead of spawning a private one. Plans with the
+  /// same (size, pin list) then share one persistent team — executions
+  /// serialise through it rather than oversubscribing the cores, and the
+  /// spawn cost is paid once per process instead of once per plan. The
+  /// exec::BatchExecutor sets this on every plan it builds.
+  bool team_pool = false;
+
   /// Scale the inverse transform by 1/N (forward is never scaled).
   bool normalize_inverse = false;
 };

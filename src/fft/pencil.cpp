@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "kernels/twiddle.h"
 #include "obs/obs.h"
+#include "parallel/team_pool.h"
 
 namespace bwfft {
 
@@ -19,7 +20,7 @@ PencilEngine::PencilEngine(std::vector<idx_t> dims, Direction dir,
     ffts_.push_back(std::make_shared<Fft1d>(d, dir_));
   }
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
-  team_ = std::make_unique<ThreadTeam>(p);
+  team_ = parallel::make_team(p, {}, opts_.team_pool);
 }
 
 void PencilEngine::execute(cplx* in, cplx* out) {

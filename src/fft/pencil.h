@@ -27,7 +27,7 @@ class PencilEngine final : public MdEngine {
   Direction dir_;
   FftOptions opts_;
   std::vector<std::shared_ptr<Fft1d>> ffts_;  // one per dimension
-  std::unique_ptr<ThreadTeam> team_;
+  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
   idx_t total_ = 1;
 };
 

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "layout/rotate.h"
 #include "obs/obs.h"
+#include "parallel/team_pool.h"
 
 namespace bwfft {
 
@@ -20,7 +21,7 @@ SlabPencilEngine::SlabPencilEngine(std::vector<idx_t> dims, Direction dir,
   fft_n_ = std::make_shared<Fft1d>(n, dir_);
   fft_k_ = std::make_shared<Fft1d>(k, dir_);
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
-  team_ = std::make_unique<ThreadTeam>(p);
+  team_ = parallel::make_team(p, {}, opts_.team_pool);
   slab_work_.reserve(static_cast<std::size_t>(p));
   for (int t = 0; t < p; ++t) {
     slab_work_.emplace_back(static_cast<std::size_t>(n * m),

@@ -33,7 +33,7 @@ class SlabPencilEngine final : public MdEngine {
   FftOptions opts_;
   std::array<StageGeometry, 2> slab_stages_;  // 2D stages within one slab
   std::shared_ptr<Fft1d> fft_m_, fft_n_, fft_k_;
-  std::unique_ptr<ThreadTeam> team_;
+  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
   // One n*m scratch per thread (huge-page preferred, plain fallback).
   std::vector<AlignedBuffer<cplx>> slab_work_;
   idx_t total_ = 1;

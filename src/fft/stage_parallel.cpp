@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "layout/rotate.h"
 #include "obs/obs.h"
+#include "parallel/team_pool.h"
 
 namespace bwfft {
 
@@ -33,7 +34,7 @@ StageParallelEngine::StageParallelEngine(std::vector<idx_t> dims,
     ffts_.push_back(std::make_shared<Fft1d>(g.fft_len, dir_));
   }
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
-  team_ = std::make_unique<ThreadTeam>(p);
+  team_ = parallel::make_team(p, {}, opts_.team_pool);
 }
 
 void StageParallelEngine::run_stage([[maybe_unused]] int stage_idx,

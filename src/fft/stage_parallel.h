@@ -36,7 +36,7 @@ class StageParallelEngine final : public MdEngine {
   FftOptions opts_;
   std::vector<StageGeometry> stages_;
   std::vector<std::shared_ptr<Fft1d>> ffts_;  // per stage
-  std::unique_ptr<ThreadTeam> team_;
+  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
   // 2D needs an intermediate so the result lands in `out` (huge-page
   // preferred; degrades to plain aligned memory).
   AlignedBuffer<cplx> work_;

@@ -150,6 +150,14 @@ const char* counter_name(Counter c) {
     case Counter::FaultInjected: return "fault_injected";
     case Counter::FaultRetry: return "fault_retry";
     case Counter::FaultDegrade: return "fault_degrade";
+    case Counter::TeamSpawn: return "team_spawn";
+    case Counter::TeamReuse: return "team_reuse";
+    case Counter::ExecSubmit: return "exec_submit";
+    case Counter::ExecReject: return "exec_reject";
+    case Counter::ExecTimeout: return "exec_timeout";
+    case Counter::ExecComplete: return "exec_complete";
+    case Counter::ExecBatch: return "exec_batch";
+    case Counter::ExecQueueNs: return "exec_queue_ns";
   }
   return "?";
 }

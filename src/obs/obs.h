@@ -55,8 +55,16 @@ enum class Counter : int {
   FaultInjected,    ///< fault-injection probes that fired
   FaultRetry,       ///< recovery retries (plan rebuilt and re-run)
   FaultDegrade,     ///< graceful degradations (fallback path taken)
+  TeamSpawn,        ///< thread teams spawned by the parallel::TeamPool
+  TeamReuse,        ///< TeamPool acquires served by an existing team
+  ExecSubmit,       ///< requests accepted by a BatchExecutor queue
+  ExecReject,       ///< submits rejected (queue-full backpressure)
+  ExecTimeout,      ///< requests expired before execution started
+  ExecComplete,     ///< requests whose ExecReport was fulfilled
+  ExecBatch,        ///< coalesced same-shape batches dispatched
+  ExecQueueNs,      ///< total enqueue-to-start wait across requests
 };
-inline constexpr int kCounterCount = 13;
+inline constexpr int kCounterCount = 21;
 
 /// Stable snake_case name (JSON keys in BENCH_*.json use these).
 const char* counter_name(Counter c);

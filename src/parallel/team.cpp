@@ -124,6 +124,10 @@ void ThreadTeam::worker_loop(int tid, int pin_cpu) {
 }
 
 void ThreadTeam::run(const std::function<void(int)>& f) {
+  // One job at a time: a second caller parks here until the first job's
+  // workers have all finished (mu_ alone cannot give that guarantee — it
+  // is released inside the cv_done_ wait while workers still run).
+  std::lock_guard<std::mutex> run_lk(run_mu_);
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lk(mu_);

@@ -41,6 +41,11 @@ class ThreadTeam {
   /// the calling thread (first one wins). A throwing worker aborts the
   /// team barrier so teammates blocked in arrive_and_wait drain (by
   /// throwing) instead of deadlocking; the team stays usable afterwards.
+  ///
+  /// Safe to call from multiple caller threads: concurrent run() calls
+  /// serialise on an internal mutex, so a team shared through the
+  /// parallel::TeamPool executes one job at a time instead of
+  /// oversubscribing its workers with interleaved jobs.
   void run(const std::function<void(int)>& f);
 
   /// Team-wide barrier usable inside run() bodies.
@@ -64,6 +69,7 @@ class ThreadTeam {
   SpinBarrier barrier_;
   std::atomic<int> pin_failures_{0};
 
+  std::mutex run_mu_;  // serialises whole run() calls from distinct callers
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

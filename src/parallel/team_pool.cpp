@@ -1,0 +1,70 @@
+#include "parallel/team_pool.h"
+
+#include "obs/obs.h"
+
+namespace bwfft::parallel {
+
+std::string TeamPool::key_of(int nthreads, const std::vector<int>& pin_cpus) {
+  std::string k = "p" + std::to_string(nthreads);
+  for (int c : pin_cpus) k += ":" + std::to_string(c);
+  return k;
+}
+
+std::shared_ptr<ThreadTeam> TeamPool::acquire(int nthreads,
+                                              std::vector<int> pin_cpus) {
+  const std::string key = key_of(nthreads, pin_cpus);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = teams_.find(key);
+    if (it != teams_.end()) {
+      ++stats_.reused;
+      BWFFT_OBS_COUNT(TeamReuse, 1);
+      return it->second;
+    }
+  }
+  // Spawn outside the lock: team construction blocks on thread startup
+  // (and may throw through an injected spawn fault), and other keys
+  // should not wait behind it. A racing acquire of the same key may
+  // spawn a duplicate; the loser's team is discarded below and tears
+  // itself down — rare, and correct.
+  auto team = std::make_shared<ThreadTeam>(nthreads, std::move(pin_cpus));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = teams_.emplace(key, team);
+  if (!inserted) {
+    ++stats_.reused;
+    BWFFT_OBS_COUNT(TeamReuse, 1);
+    return it->second;
+  }
+  ++stats_.spawned;
+  stats_.teams = teams_.size();
+  BWFFT_OBS_COUNT(TeamSpawn, 1);
+  return team;
+}
+
+TeamPool::Stats TeamPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void TeamPool::clear() {
+  std::map<std::string, std::shared_ptr<ThreadTeam>> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    doomed.swap(teams_);
+    stats_.teams = 0;
+  }
+  // Teams join their workers in ~ThreadTeam outside the pool lock.
+}
+
+TeamPool& TeamPool::global() {
+  static TeamPool* pool = new TeamPool;  // leaked: usable at exit
+  return *pool;
+}
+
+std::shared_ptr<ThreadTeam> make_team(int nthreads, std::vector<int> pin_cpus,
+                                      bool pooled) {
+  if (pooled) return TeamPool::global().acquire(nthreads, std::move(pin_cpus));
+  return std::make_shared<ThreadTeam>(nthreads, std::move(pin_cpus));
+}
+
+}  // namespace bwfft::parallel

@@ -1,0 +1,69 @@
+// Process-wide pool of persistent thread teams.
+//
+// Every engine owns a ThreadTeam, and before this pool existed every plan
+// construction spawned (and tore down) a fresh one — so a server building
+// many plans paid thread startup per plan and concurrent plans
+// oversubscribed the cores with rival teams. The pool keys teams by
+// (size, pin list) and hands out shared_ptr<ThreadTeam>: the first
+// request spawns the team, every later request with the same shape reuses
+// it, and ThreadTeam::run's internal serialisation makes two plans
+// sharing one team take turns instead of fighting for cores. Teams stay
+// alive for the life of the pool (the point: "teams never respawned"),
+// so a cached plan that is evicted and rebuilt re-attaches to the same
+// OS threads.
+//
+// Opt-in: engines draw from the pool only when FftOptions::team_pool is
+// set (the exec::BatchExecutor sets it on every plan it builds). The
+// default stays per-engine private teams, which keeps the fault-injection
+// semantics of spawn-failure tests — a pooled team would absorb the
+// injected failure on reuse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "parallel/team.h"
+
+namespace bwfft::parallel {
+
+class TeamPool {
+ public:
+  struct Stats {
+    std::uint64_t spawned = 0;  ///< teams created (cold acquires)
+    std::uint64_t reused = 0;   ///< acquires served by an existing team
+    std::size_t teams = 0;      ///< live teams held by the pool
+  };
+
+  /// The pooled team for (nthreads, pin_cpus), spawning it on first use.
+  /// Throws what ThreadTeam's constructor throws (kWorkerLost on spawn
+  /// failure) — nothing is cached on failure, so a later acquire retries.
+  std::shared_ptr<ThreadTeam> acquire(int nthreads,
+                                      std::vector<int> pin_cpus = {});
+
+  Stats stats() const;
+
+  /// Drop every pooled team (teams still referenced by live engines stay
+  /// alive until those engines release them). Test hook.
+  void clear();
+
+  /// Process-wide pool used by callers that do not manage their own.
+  static TeamPool& global();
+
+ private:
+  static std::string key_of(int nthreads, const std::vector<int>& pin_cpus);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ThreadTeam>> teams_;
+  Stats stats_;
+};
+
+/// Engine-side team factory: a pooled team from TeamPool::global() when
+/// `pooled`, a private one otherwise.
+std::shared_ptr<ThreadTeam> make_team(int nthreads, std::vector<int> pin_cpus,
+                                      bool pooled);
+
+}  // namespace bwfft::parallel

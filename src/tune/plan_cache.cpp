@@ -18,7 +18,11 @@ CachedPlan::CachedPlan(std::vector<idx_t> dims, Direction dir,
   if (resolved_.engine == EngineKind::Auto) {
     resolved_ = resolve_auto(dims_, dir_, resolved_);
   }
-  engine_ = make_engine(dims_, dir_, resolved_);
+  // Recovering construction: a spawn failure or placed-alloc exhaustion
+  // degrades resolved_ (fewer threads, then the reference engine) instead
+  // of failing the plan — a shared plan dying on a transient construction
+  // failure would fail every waiter at once.
+  engine_ = make_engine_recovering(dims_, dir_, resolved_);
   for (idx_t d : dims_) total_ *= d;
 }
 
@@ -33,6 +37,12 @@ void CachedPlan::execute_inplace(cplx* data) {
   engine_->execute(data, inplace_work_.data());
   copy_stream(data, inplace_work_.data(), total_, resolved_.nontemporal);
   if (resolved_.nontemporal) stream_fence();
+}
+
+Status CachedPlan::try_execute(cplx* in, cplx* out, ExecReport* rep) {
+  std::lock_guard<std::mutex> lk(exec_mu_);
+  return try_execute_recovering(dims_, dir_, resolved_, engine_, in, out,
+                                rep);
 }
 
 std::size_t CachedPlan::footprint_bytes() const {
@@ -59,7 +69,8 @@ std::string PlanCache::key_of(const std::vector<idx_t>& dims, Direction dir,
                 static_cast<long long>(opts.block_elems),
                 static_cast<long long>(opts.packet_elems),
                 opts.nontemporal ? 1 : 0, static_cast<int>(opts.tune_level),
-                opts.pin_threads ? 1 : 0, opts.normalize_inverse ? 1 : 0);
+                (opts.pin_threads ? 1 : 0) | (opts.team_pool ? 2 : 0),
+                opts.normalize_inverse ? 1 : 0);
   k += buf;
   if (!variant.empty()) k += ":" + variant;
   return k;

@@ -34,8 +34,10 @@
 #include <vector>
 
 #include "common/aligned.h"
+#include "common/error.h"
 #include "common/types.h"
 #include "fft/engine.h"
+#include "fft/fft.h"
 #include "fft/options.h"
 
 namespace bwfft::tune {
@@ -49,6 +51,13 @@ class CachedPlan {
 
   void execute(cplx* in, cplx* out);
   void execute_inplace(cplx* data);
+
+  /// No-throw execute through the recovery policy (docs/INTERNALS.md §10):
+  /// a stalled or lost worker rebuilds the engine with half the thread
+  /// budget and retries; allocation failure falls back to the reference
+  /// engine. Degradations are sticky — options() reports the
+  /// configuration the plan has degraded to. Serialised like execute.
+  Status try_execute(cplx* in, cplx* out, ExecReport* rep = nullptr);
 
   const std::vector<idx_t>& dims() const { return dims_; }
   Direction direction() const { return dir_; }

@@ -1,0 +1,124 @@
+// BoundedQueue — the exec service's MPMC submission channel.
+#include "exec/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace bwfft::exec {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoOrderAndCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(3u, q.capacity());
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(3u, q.size());
+  EXPECT_FALSE(q.try_push(4)) << "push into a full queue must bounce";
+  EXPECT_EQ(1, q.pop().value());
+  EXPECT_TRUE(q.try_push(4)) << "pop must free a slot";
+  EXPECT_EQ(2, q.pop().value());
+  EXPECT_EQ(3, q.pop().value());
+  EXPECT_EQ(4, q.pop().value());
+  EXPECT_EQ(0u, q.size());
+}
+
+TEST(BoundedQueue, TryPopEmptyReturnsNothing) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.try_push(7);
+  EXPECT_EQ(7, q.try_pop().value());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, PushUntilTimesOutOnFullQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.push_until(2, t0 + 20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
+  // Space opening up lets a waiting push through.
+  std::thread popper([&] {
+    std::this_thread::sleep_for(10ms);
+    q.pop();
+  });
+  EXPECT_TRUE(q.push_until(3, std::chrono::steady_clock::now() + 5s));
+  popper.join();
+  EXPECT_EQ(3, q.pop().value());
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3)) << "closed queue rejects pushes";
+  EXPECT_FALSE(q.push_wait(3)) << "even blocking ones";
+  // Items queued before close stay poppable (graceful drain)...
+  EXPECT_EQ(1, q.pop().value());
+  EXPECT_EQ(2, q.pop().value());
+  // ...and the drained, closed queue reports shutdown instead of blocking.
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersConserveItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);  // small: producers hit backpressure constantly
+
+  std::vector<std::thread> threads;
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        consumed_sum += *v;
+        ++consumed_count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push_wait(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int t = kConsumers; t < kConsumers + kProducers; ++t) {
+    threads[static_cast<std::size_t>(t)].join();
+  }
+  q.close();
+  for (int t = 0; t < kConsumers; ++t) {
+    threads[static_cast<std::size_t>(t)].join();
+  }
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(total, consumed_count.load());
+  long long want = 0;
+  for (int i = 0; i < total; ++i) want += i;
+  EXPECT_EQ(want, consumed_sum.load());
+}
+
+}  // namespace
+}  // namespace bwfft::exec

@@ -1,0 +1,159 @@
+// parallel::TeamPool — persistent shared thread teams ("teams never
+// respawned"). Covers keyed reuse, concurrent acquire convergence, the
+// run() serialisation that makes shared teams safe, and engines
+// attaching to one pooled team via FftOptions::team_pool.
+#include "parallel/team_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "fft/reference.h"
+#include "../test_util.h"
+
+namespace bwfft::parallel {
+namespace {
+
+using test::fft_tol;
+using test::max_err;
+
+TEST(TeamPool, SameKeyReturnsTheSameTeam) {
+  TeamPool pool;
+  auto a = pool.acquire(2);
+  auto b = pool.acquire(2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(2, a->size());
+  const TeamPool::Stats s = pool.stats();
+  EXPECT_EQ(1u, s.spawned);
+  EXPECT_EQ(1u, s.reused);
+  EXPECT_EQ(1u, s.teams);
+}
+
+TEST(TeamPool, SizeAndPinListAreTheKey) {
+  TeamPool pool;
+  auto a = pool.acquire(2);
+  auto b = pool.acquire(1);
+  auto c = pool.acquire(1, {0});  // same size, pinned: a different team
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(b.get(), c.get());
+  EXPECT_EQ(3u, pool.stats().teams);
+  EXPECT_EQ(b.get(), pool.acquire(1).get());
+  EXPECT_EQ(c.get(), pool.acquire(1, {0}).get());
+}
+
+TEST(TeamPool, ClearDropsTeamsButLiveReferencesStayUsable) {
+  TeamPool pool;
+  auto a = pool.acquire(2);
+  pool.clear();
+  EXPECT_EQ(0u, pool.stats().teams);
+  // The cleared team is still alive through our shared_ptr.
+  std::atomic<int> hits{0};
+  a->run([&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(2, hits.load());
+  // A later acquire spawns afresh rather than resurrecting the old team.
+  auto b = pool.acquire(2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(2u, pool.stats().spawned);
+}
+
+TEST(TeamPool, ConcurrentAcquiresConvergeOnOneTeam) {
+  constexpr int kCallers = 8;
+  TeamPool pool;
+  std::vector<std::thread> threads;
+  std::vector<ThreadTeam*> got(kCallers, nullptr);
+  std::vector<std::shared_ptr<ThreadTeam>> keep(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&, t] {
+      keep[static_cast<std::size_t>(t)] = pool.acquire(2);
+      got[static_cast<std::size_t>(t)] =
+          keep[static_cast<std::size_t>(t)].get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kCallers; ++t) {
+    EXPECT_EQ(got[0], got[static_cast<std::size_t>(t)]) << "caller " << t;
+  }
+  const TeamPool::Stats s = pool.stats();
+  // Racing spawns may build a duplicate, but the loser's team is
+  // discarded: the pool never holds more than one team per key.
+  EXPECT_EQ(1u, s.teams);
+  EXPECT_EQ(static_cast<std::uint64_t>(kCallers), s.spawned + s.reused);
+}
+
+TEST(TeamPool, SharedTeamSerialisesConcurrentRuns) {
+  TeamPool pool;
+  auto team = pool.acquire(2);
+  constexpr int kCallers = 4;
+  constexpr int kRunsEach = 25;
+  std::atomic<int> inside{0};
+  std::atomic<int> overlap{0};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < kRunsEach; ++i) {
+        team->run([&](int) {
+          // Workers of ONE job overlap (that is the point of a team);
+          // two *jobs* must never interleave, so the worker count inside
+          // a job can never exceed the team size.
+          const int now = inside.fetch_add(1) + 1;
+          if (now > team->size()) overlap.fetch_add(1);
+          hits.fetch_add(1);
+          inside.fetch_sub(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(0, overlap.load()) << "two run() jobs interleaved on one team";
+  EXPECT_EQ(kCallers * kRunsEach * team->size(), hits.load());
+}
+
+TEST(TeamPool, MakeTeamPooledSharesPrivateDoesNot) {
+  const TeamPool::Stats before = TeamPool::global().stats();
+  auto pooled1 = make_team(2, {}, /*pooled=*/true);
+  auto pooled2 = make_team(2, {}, /*pooled=*/true);
+  EXPECT_EQ(pooled1.get(), pooled2.get());
+  auto priv1 = make_team(2, {}, /*pooled=*/false);
+  auto priv2 = make_team(2, {}, /*pooled=*/false);
+  EXPECT_NE(priv1.get(), priv2.get());
+  EXPECT_NE(pooled1.get(), priv1.get());
+  const TeamPool::Stats after = TeamPool::global().stats();
+  // Only the pooled acquires touched the global pool (delta-based: other
+  // tests in this binary may have populated it already).
+  EXPECT_GE(after.reused, before.reused + 1);
+}
+
+TEST(TeamPool, EnginesWithTeamPoolOptionShareOneTeam) {
+  const idx_t n = 8, m = 16;
+  auto x = random_cvec(n * m, 7401);
+  cvec want(x.size());
+  reference_dft_2d(x.data(), want.data(), n, m, Direction::Forward);
+
+  FftOptions o;
+  o.threads = 2;
+  o.pin_threads = false;  // key "p2:" regardless of host core count
+  o.team_pool = true;
+  const TeamPool::Stats before = TeamPool::global().stats();
+  Fft2d p1(n, m, Direction::Forward, o);
+  Fft2d p2(n, m, Direction::Forward, o);
+  const TeamPool::Stats after = TeamPool::global().stats();
+  // Two plans, at most one spawn for this key — the second attached to
+  // the pooled team.
+  EXPECT_LE(after.spawned, before.spawned + 1);
+  EXPECT_GE(after.reused, before.reused + 1);
+
+  // Both plans produce correct results through the shared team.
+  cvec in1 = x, out1(x.size()), in2 = x, out2(x.size());
+  p1.execute(in1.data(), out1.data());
+  p2.execute(in2.data(), out2.data());
+  EXPECT_LT(max_err(want, out1), fft_tol(static_cast<double>(n * m)));
+  EXPECT_LT(max_err(want, out2), fft_tol(static_cast<double>(n * m)));
+}
+
+}  // namespace
+}  // namespace bwfft::parallel

@@ -24,10 +24,16 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+
 #include "benchutil/args.h"
 #include "benchutil/metrics.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "exec/batch_executor.h"
 #include "fault/fault.h"
 #include "fft/double_buffer.h"
 #include "fft/fft.h"
@@ -47,7 +53,8 @@ namespace {
                "[--compute PC] [--block ELEMS] [--mu MU] [--reps R] "
                "[--inverse] [--verify] [--no-nt] [--stats] [--verbose] "
                "[--trace out.json] [--tune estimate|measure|exhaustive] "
-               "[--wisdom file.json]\n",
+               "[--wisdom file.json] [--serve] [--requests N] "
+               "[--producers P] [--queue CAP]\n",
                argv0);
   std::exit(2);
 }
@@ -56,6 +63,77 @@ EngineKind engine_kind(const std::string& s) {
   EngineKind kind = EngineKind::Reference;
   engine_kind_from_name(s, &kind);  // s was validated by parse_args
   return kind;
+}
+
+/// --serve: run the configured transform as a service workload —
+/// `producers` threads submit `requests` requests to one BatchExecutor
+/// (persistent team, shared plan cache, bounded queue) and the
+/// throughput/latency/batching numbers are printed. Non-zero on any
+/// failed request.
+int run_serve(const cli::Options& a, const FftOptions& base_opts,
+              Direction dir, idx_t total) {
+  exec::ServeOptions sopts;
+  sopts.threads = a.threads;
+  sopts.queue_capacity = static_cast<std::size_t>(a.queue_cap);
+  sopts.plan = base_opts;
+  exec::BatchExecutor executor(sopts);
+
+  const cvec seed = random_cvec(total);
+  std::vector<cvec> ins, outs;
+  for (int p = 0; p < a.producers; ++p) {
+    ins.push_back(seed);
+    outs.emplace_back(static_cast<std::size_t>(total));
+  }
+
+  std::printf("serve: %d requests, %d producers, queue=%d\n", a.requests,
+              a.producers, a.queue_cap);
+  int failed = 0;
+  std::mutex fail_mu;
+  Timer wall;
+  std::vector<std::thread> tt;
+  for (int p = 0; p < a.producers; ++p) {
+    tt.emplace_back([&, p] {
+      std::vector<std::future<ExecReport>> pending;
+      for (int r = p; r < a.requests; r += a.producers) {
+        exec::Request req;
+        req.dims = a.dims;
+        req.dir = dir;
+        req.in = ins[static_cast<std::size_t>(p)].data();
+        req.out = outs[static_cast<std::size_t>(p)].data();
+        pending.push_back(executor.submit(std::move(req)));
+      }
+      for (auto& f : pending) {
+        const ExecReport rep = f.get();
+        if (!rep.status.ok()) {
+          std::lock_guard<std::mutex> lk(fail_mu);
+          ++failed;
+          std::fprintf(stderr, "serve: request failed: %s\n",
+                       rep.status.str().c_str());
+        }
+      }
+    });
+  }
+  for (auto& t : tt) t.join();
+  const double secs = wall.seconds();
+
+  const exec::ExecStats st = executor.stats();
+  std::printf("serve: %.1f requests/s (%d in %.3f s)\n",
+              static_cast<double>(a.requests) / secs, a.requests, secs);
+  std::printf(
+      "serve: queue wait p50=%.3f ms p99=%.3f ms; end-to-end p50=%.3f ms "
+      "p99=%.3f ms\n",
+      static_cast<double>(st.queue_wait.quantile_ns(0.50)) / 1e6,
+      static_cast<double>(st.queue_wait.quantile_ns(0.99)) / 1e6,
+      static_cast<double>(st.end_to_end.quantile_ns(0.50)) / 1e6,
+      static_cast<double>(st.end_to_end.quantile_ns(0.99)) / 1e6);
+  std::printf(
+      "serve: batches=%llu occupancy=%.2f (max %zu) peak_queue=%zu "
+      "completed=%llu failed=%llu\n",
+      static_cast<unsigned long long>(st.batches), st.batch_occupancy(),
+      st.max_batch_occupancy, st.peak_queue_depth,
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.failed));
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -99,6 +177,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wisdom: %s (starting fresh)\n", werr.c_str());
     }
   }
+
+  if (a.serve) return run_serve(a, opts, dir, total);
 
   cvec original = random_cvec(total);
   cvec in(original.size()), out(original.size());

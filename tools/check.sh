@@ -8,13 +8,22 @@
 #   ./tools/check.sh --quick    # same as quick
 #   ./tools/check.sh faults     # ASan+UBSan: fault tests, then the tier-1
 #                               # suite once per BWFFT_FAULTS fault family
+#   ./tools/check.sh ci         # the hosted-CI chain: quick, asan, tsan
 #
-# Each configuration gets its own build tree (build-asan/, build-tsan/,
-# build-quick/) so the trees can be rebuilt incrementally; suppressions/
-# files are exported through the sanitizer runtime options. Any sanitizer
-# report fails the corresponding ctest run (halt_on_error / abort_on_error),
-# so a zero exit status here means the whole suite ran report-free under
-# both runtimes.
+# Build trees live under BWFFT_BUILD_DIR (default: the repo root), one per
+# configuration (build-asan/, build-tsan/, build-quick/) so each can be
+# rebuilt incrementally; suppressions/ files are exported through the
+# sanitizer runtime options. Any sanitizer report fails the corresponding
+# ctest run (halt_on_error / abort_on_error), so a zero exit status here
+# means the whole suite ran report-free under both runtimes.
+#
+# Exit codes are distinct per failing mode, so CI and driver scripts can
+# tell which gate fell over without parsing logs:
+#
+#   0   everything requested passed
+#   2   usage error (unknown mode)
+#   10  asan failed        11  tsan failed
+#   12  quick failed       13  faults failed
 #
 # The quick configuration is the fast pre-push gate: an uninstrumented
 # RelWithDebInfo build running `ctest -L tier1`, then a bench smoke —
@@ -32,16 +41,27 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_BASE="${BWFFT_BUILD_DIR:-$ROOT}"
 JOBS="${JOBS:-$(nproc)}"
-if [[ $# -eq 0 ]]; then
-  CONFIGS=(asan tsan)
-else
-  CONFIGS=("$@")
-fi
+
+usage() {
+  echo "usage: $0 [asan|tsan|quick|faults|ci ...]" >&2
+  exit 2
+}
+
+exit_code_for() {
+  case "$1" in
+    asan) echo 10 ;;
+    tsan) echo 11 ;;
+    quick|--quick) echo 12 ;;
+    faults) echo 13 ;;
+    *) echo 2 ;;
+  esac
+}
 
 run_config() {
   local name="$1" sanitize="$2"
-  local build="$ROOT/build-$name"
+  local build="$BUILD_BASE/build-$name"
   echo "=== [$name] configure: -DBWFFT_SANITIZE=$sanitize ==="
   cmake -B "$build" -S "$ROOT" -DBWFFT_SANITIZE="$sanitize" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -60,7 +80,7 @@ run_config() {
 }
 
 run_quick() {
-  local build="$ROOT/build-quick"
+  local build="$BUILD_BASE/build-quick"
   echo "=== [quick] configure ==="
   cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   echo "=== [quick] build ==="
@@ -87,7 +107,7 @@ run_quick() {
 }
 
 run_faults() {
-  local build="$ROOT/build-asan"
+  local build="$BUILD_BASE/build-asan"
   echo "=== [faults] configure: -DBWFFT_SANITIZE=address;undefined ==="
   cmake -B "$build" -S "$ROOT" -DBWFFT_SANITIZE="address;undefined" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
@@ -123,14 +143,41 @@ run_faults() {
   echo "=== [faults] clean ==="
 }
 
-for cfg in "${CONFIGS[@]}"; do
-  case "$cfg" in
+# Internal: run exactly one mode in a child process, where `set -e` is
+# fully effective (inside an `if !`/`||` guard the shell suspends -e, so
+# the parent drives each mode through a re-invocation instead).
+if [[ "${1:-}" == "--one" ]]; then
+  [[ $# -eq 2 ]] || usage
+  case "$2" in
     asan) run_config asan "address;undefined" ;;
     tsan) run_config tsan "thread" ;;
     quick|--quick) run_quick ;;
     faults) run_faults ;;
-    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults)" >&2; exit 2 ;;
+    *) usage ;;
   esac
+  exit 0
+fi
+
+if [[ $# -eq 0 ]]; then
+  CONFIGS=(asan tsan)
+else
+  CONFIGS=("$@")
+fi
+
+# Validate and expand (`ci` is the hosted pipeline's chain: the quick
+# gate plus both sanitizer sweeps).
+MODES=()
+for cfg in "${CONFIGS[@]}"; do
+  case "$cfg" in
+    asan|tsan|quick|--quick|faults) MODES+=("$cfg") ;;
+    ci) MODES+=(quick asan tsan) ;;
+    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults, ci)" >&2
+       exit 2 ;;
+  esac
+done
+
+for cfg in "${MODES[@]}"; do
+  "${BASH_SOURCE[0]}" --one "$cfg" || exit "$(exit_code_for "$cfg")"
 done
 
 echo "all requested configurations clean"
