@@ -1,0 +1,166 @@
+#include "common/intervals.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bwfft {
+
+namespace {
+
+constexpr std::size_t kMaxIssues = 32;
+
+struct Run {
+  idx_t begin;
+  idx_t end;
+  int owner;
+};
+
+const char* kind_name(IntervalIssue::Kind k) {
+  switch (k) {
+    case IntervalIssue::Kind::Overlap: return "overlap";
+    case IntervalIssue::Kind::Gap: return "gap";
+    case IntervalIssue::Kind::OutOfBounds: return "out-of-bounds";
+  }
+  return "?";
+}
+
+void add_issue(PartitionReport& rep, IntervalIssue::Kind kind, idx_t begin,
+               idx_t end, int a, int b) {
+  if (rep.issues.size() >= kMaxIssues) return;
+  // Merge with the previous issue when it is the same defect continuing
+  // (same kind and owners, abutting ranges) — a systematically shifted
+  // partition otherwise produces one issue per run.
+  if (!rep.issues.empty()) {
+    IntervalIssue& last = rep.issues.back();
+    if (last.kind == kind && last.owner_a == a && last.owner_b == b &&
+        last.end == begin) {
+      last.end = end;
+      return;
+    }
+  }
+  rep.issues.push_back({kind, begin, end, a, b});
+}
+
+}  // namespace
+
+std::string StridedInterval::str() const {
+  std::ostringstream os;
+  if (count <= 1) {
+    os << "[" << begin << ", " << begin + width << ")";
+  } else {
+    os << count << " x [" << begin << "+" << stride << "k, " << begin
+       << "+" << stride << "k+" << width << ")";
+  }
+  return os.str();
+}
+
+std::string IntervalIssue::str() const {
+  std::ostringstream os;
+  os << "[" << kind_name(kind) << "] elements [" << begin << ", " << end
+     << ")";
+  if (kind == Kind::Overlap) {
+    os << " written by owner " << owner_a;
+    if (owner_b != owner_a) os << " and owner " << owner_b;
+    else os << " twice";
+  } else if (kind == Kind::OutOfBounds) {
+    os << " outside the output (owner " << owner_a << ")";
+  } else {
+    os << " written by no owner";
+  }
+  return os.str();
+}
+
+std::string PartitionReport::str() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "partition clean: " << runs << " runs cover " << covered << " of "
+       << total << " elements";
+    return os.str();
+  }
+  os << "partition: " << issues.size() << " issue(s)";
+  if (issues.size() >= kMaxIssues) os << " (list capped)";
+  os << " over " << runs << " runs, total " << total;
+  for (const auto& i : issues) os << "\n  " << i.str();
+  return os.str();
+}
+
+PartitionReport check_partition(const std::vector<OwnedWindow>& windows,
+                                idx_t total, bool require_cover) {
+  PartitionReport rep;
+  rep.total = total;
+
+  std::vector<Run> runs;
+  for (const OwnedWindow& w : windows) {
+    const StridedInterval& iv = w.iv;
+    if (iv.width <= 0 || iv.count <= 0) continue;  // empty window
+    if (iv.self_overlapping()) {
+      // Runs collide with their successors; report the first collision
+      // without expanding (the expansion below assumes sorted-disjoint
+      // runs within one interval only for the merge fast path).
+      add_issue(rep, IntervalIssue::Kind::Overlap, iv.begin + iv.stride,
+                iv.begin + iv.width, w.owner, w.owner);
+    }
+    if (iv.count > 1 && iv.stride == iv.width) {
+      // Abutting runs are one contiguous range — common for row chunks
+      // expressed as per-row intervals.
+      runs.push_back({iv.begin, iv.begin + iv.width * iv.count, w.owner});
+      rep.runs += 1;
+      continue;
+    }
+    for (idx_t i = 0; i < iv.count; ++i) {
+      const idx_t b = iv.begin + i * iv.stride;
+      runs.push_back({b, b + iv.width, w.owner});
+    }
+    rep.runs += static_cast<std::size_t>(iv.count);
+  }
+
+  std::sort(runs.begin(), runs.end(), [](const Run& a, const Run& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    return a.end < b.end;
+  });
+
+  // Sweep left to right. `frontier` is the rightmost end seen so far and
+  // `frontier_owner` who wrote up to it; a run starting before the
+  // frontier overlaps, a run starting past it (under require_cover)
+  // leaves a gap.
+  idx_t frontier = 0;
+  int frontier_owner = -1;
+  for (const Run& r : runs) {
+    if (r.begin < 0 || r.end > total) {
+      const idx_t ob = r.begin < 0 ? r.begin : std::max(r.begin, total);
+      const idx_t oe = r.begin < 0 ? std::min(r.end, idx_t{0}) : r.end;
+      add_issue(rep, IntervalIssue::Kind::OutOfBounds, ob, oe, r.owner, -1);
+    }
+    if (r.begin < frontier) {
+      add_issue(rep, IntervalIssue::Kind::Overlap, r.begin,
+                std::min(r.end, frontier), frontier_owner, r.owner);
+    } else if (require_cover && r.begin > frontier) {
+      add_issue(rep, IntervalIssue::Kind::Gap, frontier, r.begin, -1, -1);
+    }
+    const idx_t cb = std::clamp(r.begin, idx_t{0}, total);
+    const idx_t ce = std::clamp(r.end, idx_t{0}, total);
+    rep.covered += std::max(idx_t{0}, ce - std::max(cb, frontier));
+    if (r.end > frontier) {
+      frontier = r.end;
+      frontier_owner = r.owner;
+    }
+  }
+  if (require_cover && frontier < total) {
+    add_issue(rep, IntervalIssue::Kind::Gap, frontier, total, -1, -1);
+  }
+  return rep;
+}
+
+bool stride_perm_is_bijection(idx_t total, idx_t sub) {
+  if (total < 1 || sub < 1 || total % sub != 0) return false;
+  const idx_t m = total / sub;
+  // Inputs j with j mod sub == r are j = r, r+sub, ..., i.e. j div sub
+  // sweeps [0, m); their images are r*m + [0, m) — exactly the r-th
+  // width-m block. The sub blocks partition [0, total), and within one
+  // block the map j div sub -> offset is the identity on [0, m), so the
+  // whole map is a bijection. Nothing further to enumerate: the only
+  // failure modes are the divisibility/positivity preconditions above.
+  return m >= 1;
+}
+
+}  // namespace bwfft

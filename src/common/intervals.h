@@ -1,0 +1,102 @@
+// Strided-interval algebra — the symbolic footprint representation used
+// by the static plan verifier (src/analysis/static_verify) and the SPL
+// permutation checks (src/spl/verify).
+//
+// Every write window a bwfft engine emits is a union of equally-spaced
+// equal-width runs: a contiguous row chunk is one run; a rotated store
+// K_{cp}^{a,b} (x) I_mu lands one mu-packet every rows*mu elements; a
+// pencil pass touches one column segment per row. StridedInterval captures
+// exactly that shape, so a whole (iteration, rank) write-set is one
+// object instead of a sentinel-probed bitmap, and partition questions
+// ("are the per-thread windows disjoint? do they cover the output?")
+// become a sort + sweep over run endpoints — O(R log R) in the number of
+// runs, independent of the transform size.
+//
+// Coverage never needs to be tested directly: for windows proven pairwise
+// disjoint and contained in [0, total), covering [0, total) is equivalent
+// to their element counts summing to total. check_partition() reports
+// exact gap locations anyway (they fall out of the sweep for free), which
+// makes violation reports actionable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bwfft {
+
+/// Union of `count` half-open runs [begin + i*stride, begin + i*stride +
+/// width) for i in [0, count). A contiguous range is width = n, count = 1.
+struct StridedInterval {
+  idx_t begin = 0;
+  idx_t width = 0;   ///< elements per run
+  idx_t stride = 0;  ///< distance between run starts (unused when count==1)
+  idx_t count = 1;   ///< number of runs
+
+  idx_t elems() const { return width * count; }
+  /// One past the last element of the last run (0 for an empty interval).
+  idx_t end() const {
+    if (width <= 0 || count <= 0) return begin;
+    return begin + (count - 1) * stride + width;
+  }
+  /// A run overlaps its successor (stride < width with count > 1) — the
+  /// interval double-writes elements all by itself.
+  bool self_overlapping() const { return count > 1 && stride < width; }
+
+  static StridedInterval contiguous(idx_t begin, idx_t len) {
+    return {begin, len, 0, 1};
+  }
+
+  std::string str() const;
+};
+
+/// A write window tagged with the thread (or task) that owns it.
+struct OwnedWindow {
+  int owner = -1;
+  StridedInterval iv;
+};
+
+struct IntervalIssue {
+  enum class Kind {
+    Overlap,      ///< two owners (or one self-overlapping window) collide
+    Gap,          ///< no owner writes [begin, end)
+    OutOfBounds,  ///< a run escapes [0, total)
+  };
+
+  Kind kind;
+  idx_t begin = 0;    ///< first offending element
+  idx_t end = 0;      ///< one past the last offending element
+  int owner_a = -1;   ///< owner involved (-1 for gaps)
+  int owner_b = -1;   ///< second owner for overlaps (-1 otherwise)
+
+  std::string str() const;
+};
+
+struct PartitionReport {
+  idx_t total = 0;        ///< the index space checked, [0, total)
+  std::size_t runs = 0;   ///< expanded runs swept
+  idx_t covered = 0;      ///< distinct elements written at least once
+  std::vector<IntervalIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string str() const;
+};
+
+/// Prove the windows pairwise disjoint and contained in [0, total); with
+/// `require_cover`, also that they jointly cover [0, total) exactly.
+/// Adjacent defects of the same kind collapse into one issue, and the
+/// issue list is capped (the report says so) — one violation already
+/// fails a lint run, the rest is diagnostics.
+PartitionReport check_partition(const std::vector<OwnedWindow>& windows,
+                                idx_t total, bool require_cover);
+
+/// True iff the map j -> (j mod sub) * (total/sub) + j div sub is a
+/// bijection on [0, total), proven symbolically: the image of residue
+/// class r (sub-strided inputs) is the contiguous block [r*m, (r+1)*m),
+/// and the blocks for r = 0..sub-1 tile [0, total). Requires sub >= 1 and
+/// sub | total — anything else returns false. O(1); replaces the O(n)
+/// seen-vector probe for L nodes.
+bool stride_perm_is_bijection(idx_t total, idx_t sub);
+
+}  // namespace bwfft

@@ -1,0 +1,120 @@
+// Clang Thread Safety Analysis shim + annotated lock primitives.
+//
+// The lock surface of the library (ThreadTeam, TeamPool, PlanCache,
+// BoundedQueue, BatchExecutor) encodes its invariants in comments today:
+// "mu_ guards teams_", "caller holds mu_". Clang's -Wthread-safety turns
+// those comments into compile-time facts: members carry GUARDED_BY, lock
+// protocols carry REQUIRES/EXCLUDES, and a forgotten lock (or a lock held
+// across a call that re-acquires it) becomes a build error instead of a
+// TSan report that depends on the schedule.
+//
+// libstdc++'s std::mutex is not annotated, so annotating members with raw
+// std::mutex would warn on every use. Instead this header provides thin
+// annotated wrappers in the Abseil style:
+//
+//   * bwfft::Mutex      — a std::mutex declared as a TSA capability;
+//   * bwfft::MutexLock  — a scoped lock_guard over Mutex;
+//   * bwfft::CondVar    — std::condition_variable_any waiting on Mutex
+//                         directly (Mutex is BasicLockable), with
+//                         wait/wait_until/wait_for REQUIRES(mu).
+//
+// The macros expand to __attribute__((...)) under clang and to nothing
+// elsewhere, so GCC builds (and builds that predate the analysis) see
+// plain std primitives with zero overhead. The clang CI legs compile with
+// -DBWFFT_THREAD_SAFETY=ON, which adds -Wthread-safety -Werror.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define BWFFT_TSA(x) __attribute__((x))
+#else
+#define BWFFT_TSA(x)  // no-op outside clang
+#endif
+
+#define BWFFT_CAPABILITY(x) BWFFT_TSA(capability(x))
+#define BWFFT_SCOPED_CAPABILITY BWFFT_TSA(scoped_lockable)
+#define BWFFT_GUARDED_BY(x) BWFFT_TSA(guarded_by(x))
+#define BWFFT_PT_GUARDED_BY(x) BWFFT_TSA(pt_guarded_by(x))
+#define BWFFT_ACQUIRE(...) BWFFT_TSA(acquire_capability(__VA_ARGS__))
+#define BWFFT_RELEASE(...) BWFFT_TSA(release_capability(__VA_ARGS__))
+#define BWFFT_TRY_ACQUIRE(...) BWFFT_TSA(try_acquire_capability(__VA_ARGS__))
+#define BWFFT_REQUIRES(...) BWFFT_TSA(requires_capability(__VA_ARGS__))
+#define BWFFT_EXCLUDES(...) BWFFT_TSA(locks_excluded(__VA_ARGS__))
+#define BWFFT_RETURN_CAPABILITY(x) BWFFT_TSA(lock_returned(x))
+#define BWFFT_NO_THREAD_SAFETY_ANALYSIS BWFFT_TSA(no_thread_safety_analysis)
+
+namespace bwfft {
+
+/// std::mutex declared as a thread-safety capability. Satisfies
+/// BasicLockable, so std::condition_variable_any can wait on it directly
+/// and std::lock_guard<Mutex> works (though MutexLock is preferred — it
+/// carries the scoped-capability annotation).
+class BWFFT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BWFFT_ACQUIRE() { mu_.lock(); }
+  void unlock() BWFFT_RELEASE() { mu_.unlock(); }
+  bool try_lock() BWFFT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex — the annotated replacement for
+/// std::lock_guard / std::unique_lock in guarded-member code.
+class BWFFT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BWFFT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BWFFT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on bwfft::Mutex. Built on
+/// std::condition_variable_any (Mutex is BasicLockable, not a
+/// std::unique_lock<std::mutex>), with wait/wait_until annotated
+/// REQUIRES(mu) so the analysis proves every waiter holds the lock.
+///
+/// Deliberately predicate-free: callers write explicit
+///   while (!condition) cv.wait(mu);
+/// loops so the condition reads stay in the enclosing function body,
+/// where the analysis can see the lock is held (it does not propagate
+/// lock sets into lambda bodies).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // The analysis cannot see through condition_variable_any's internal
+  // unlock/relock, hence the body-level opt-out; the REQUIRES contract
+  // on the interface is what callers are checked against.
+  void wait(Mutex& mu) BWFFT_REQUIRES(mu) BWFFT_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      BWFFT_REQUIRES(mu) BWFFT_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bwfft

@@ -33,12 +33,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_safety.h"
 #include "common/types.h"
 #include "exec/queue.h"
 #include "fft/fft.h"
@@ -191,13 +191,16 @@ class BatchExecutor {
   tune::PlanCache* cache_ = nullptr;
   BoundedQueue<Job> queue_;
 
-  mutable std::mutex stats_mu_;
-  ExecStats stats_;
+  // Lock discipline (checked by the clang -Wthread-safety CI legs):
+  // stats_mu_ guards the counter block, pause_mu_ guards the dispatcher
+  // gate. Neither is ever held across an execute or a queue wait.
+  mutable Mutex stats_mu_;
+  ExecStats stats_ BWFFT_GUARDED_BY(stats_mu_);
 
-  std::mutex pause_mu_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
-  bool stopping_ = false;
+  Mutex pause_mu_;
+  CondVar pause_cv_;  // signalled on resume() and shutdown()
+  bool paused_ BWFFT_GUARDED_BY(pause_mu_) = false;
+  bool stopping_ BWFFT_GUARDED_BY(pause_mu_) = false;
 
   std::thread dispatcher_;
 };

@@ -7,15 +7,22 @@
 // correct under TSan — which matters more here than lock-free throughput.
 // Capacity is fixed at construction; a full queue is the backpressure
 // signal the BatchExecutor turns into kQueueFull.
+//
+// Lock discipline is compile-time checked (clang -Wthread-safety via
+// src/common/thread_safety.h): items_ and closed_ are GUARDED_BY(mu_),
+// and every wait is an explicit while loop so the analysis sees the
+// condition reads happen under the lock. Notifications are issued after
+// the lock is dropped — legal for condition variables and one fewer
+// wake-up into a held lock.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/thread_safety.h"
 
 namespace bwfft::exec {
 
@@ -29,7 +36,7 @@ class BoundedQueue {
   /// Non-blocking push. False when the queue is full or closed.
   bool try_push(T&& item) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -41,11 +48,12 @@ class BoundedQueue {
   /// full at the deadline or closed while waiting.
   bool push_until(T&& item, Clock::time_point deadline) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      if (!cv_push_.wait_until(lk, deadline, [&] {
-            return closed_ || items_.size() < capacity_;
-          })) {
-        return false;
+      MutexLock lk(mu_);
+      while (!closed_ && items_.size() >= capacity_) {
+        if (cv_push_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+            !closed_ && items_.size() >= capacity_) {
+          return false;
+        }
       }
       if (closed_) return false;
       items_.push_back(std::move(item));
@@ -57,8 +65,8 @@ class BoundedQueue {
   /// Push, waiting for space indefinitely. False only when closed.
   bool push_wait(T&& item) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_push_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+      MutexLock lk(mu_);
+      while (!closed_ && items_.size() >= capacity_) cv_push_.wait(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -71,8 +79,8 @@ class BoundedQueue {
   std::optional<T> pop() {
     std::optional<T> out;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_pop_.wait(lk, [&] { return closed_ || !items_.empty(); });
+      MutexLock lk(mu_);
+      while (!closed_ && items_.empty()) cv_pop_.wait(mu_);
       if (items_.empty()) return std::nullopt;
       out.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -85,7 +93,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (items_.empty()) return std::nullopt;
       out.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -98,7 +106,7 @@ class BoundedQueue {
   /// stay poppable (graceful drain).
   void close() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     cv_push_.notify_all();
@@ -106,12 +114,12 @@ class BoundedQueue {
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
 
@@ -119,11 +127,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_push_;  // space became available
-  std::condition_variable cv_pop_;   // an item became available
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_push_;  // space became available
+  CondVar cv_pop_;   // an item became available
+  std::deque<T> items_ BWFFT_GUARDED_BY(mu_);
+  bool closed_ BWFFT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bwfft::exec

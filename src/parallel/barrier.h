@@ -15,6 +15,13 @@
 // BWFFT_BARRIER_STALL_MS environment variable overrides either way
 // (0 disables). The deadline is only consulted on the slow (yielding)
 // path, so an armed timeout costs nothing while the barrier is healthy.
+//
+// Lock discipline (checked by the clang -Wthread-safety CI legs via
+// src/common/thread_safety.h): SpinBarrier holds no capability at all —
+// every member is an atomic with explicit ordering, and the only
+// happens-before edges it provides are the acquire/release pairs on
+// gen_/count_/aborted_. Code that needs mutual exclusion must bring its
+// own annotated bwfft::Mutex; the barrier only rendezvouses.
 #pragma once
 
 #include <atomic>

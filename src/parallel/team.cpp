@@ -57,7 +57,7 @@ ThreadTeam::ThreadTeam(int nthreads, std::vector<int> pin_cpus)
 /// without this the std::thread destructors would call std::terminate.
 void ThreadTeam::shutdown_spawned() noexcept {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -69,7 +69,7 @@ void ThreadTeam::shutdown_spawned() noexcept {
 
 ThreadTeam::~ThreadTeam() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     shutdown_ = true;
   }
   cv_start_.notify_all();
@@ -94,8 +94,8 @@ void ThreadTeam::worker_loop(int tid, int pin_cpu) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      MutexLock lk(mu_);
+      while (!shutdown_ && epoch_ == seen_epoch) cv_start_.wait(mu_);
       if (shutdown_) return;
       seen_epoch = epoch_;
       job = job_;
@@ -104,7 +104,7 @@ void ThreadTeam::worker_loop(int tid, int pin_cpu) {
       (*job)(tid);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         if (!first_error_) first_error_ = std::current_exception();
       }
       // Poison the team barrier AFTER recording the error: teammates
@@ -117,7 +117,7 @@ void ThreadTeam::worker_loop(int tid, int pin_cpu) {
       barrier_.abort();
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
@@ -127,16 +127,16 @@ void ThreadTeam::run(const std::function<void(int)>& f) {
   // One job at a time: a second caller parks here until the first job's
   // workers have all finished (mu_ alone cannot give that guarantee — it
   // is released inside the cv_done_ wait while workers still run).
-  std::lock_guard<std::mutex> run_lk(run_mu_);
+  MutexLock run_lk(run_mu_);
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     job_ = &f;
     remaining_ = size();
     first_error_ = nullptr;
     ++epoch_;
     cv_start_.notify_all();
-    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    while (remaining_ != 0) cv_done_.wait(mu_);
     job_ = nullptr;
     err = first_error_;
   }

@@ -8,13 +8,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "common/types.h"
 #include "parallel/barrier.h"
 
@@ -69,15 +69,17 @@ class ThreadTeam {
   SpinBarrier barrier_;
   std::atomic<int> pin_failures_{0};
 
-  std::mutex run_mu_;  // serialises whole run() calls from distinct callers
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;   // incremented per run(); workers watch it
-  int remaining_ = 0;         // workers still executing the current job
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  Mutex run_mu_;  // serialises whole run() calls from distinct callers
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  /// The job control block: all five fields are written by run() and the
+  /// workers under mu_, with cv_start_/cv_done_ carrying the handoffs.
+  const std::function<void(int)>* job_ BWFFT_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ BWFFT_GUARDED_BY(mu_) = 0;  // bumped per run()
+  int remaining_ BWFFT_GUARDED_BY(mu_) = 0;  // workers still on the job
+  bool shutdown_ BWFFT_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ BWFFT_GUARDED_BY(mu_);
 };
 
 /// Convenience: distribute [0, total) across the team and call

@@ -14,7 +14,7 @@ std::shared_ptr<ThreadTeam> TeamPool::acquire(int nthreads,
                                               std::vector<int> pin_cpus) {
   const std::string key = key_of(nthreads, pin_cpus);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     auto it = teams_.find(key);
     if (it != teams_.end()) {
       ++stats_.reused;
@@ -28,7 +28,7 @@ std::shared_ptr<ThreadTeam> TeamPool::acquire(int nthreads,
   // spawn a duplicate; the loser's team is discarded below and tears
   // itself down — rare, and correct.
   auto team = std::make_shared<ThreadTeam>(nthreads, std::move(pin_cpus));
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = teams_.emplace(key, team);
   if (!inserted) {
     ++stats_.reused;
@@ -42,14 +42,14 @@ std::shared_ptr<ThreadTeam> TeamPool::acquire(int nthreads,
 }
 
 TeamPool::Stats TeamPool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 
 void TeamPool::clear() {
   std::map<std::string, std::shared_ptr<ThreadTeam>> doomed;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     doomed.swap(teams_);
     stats_.teams = 0;
   }

@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "parallel/team.h"
 
 namespace bwfft::parallel {
@@ -56,9 +56,12 @@ class TeamPool {
  private:
   static std::string key_of(int nthreads, const std::vector<int>& pin_cpus);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<ThreadTeam>> teams_;
-  Stats stats_;
+  mutable Mutex mu_;
+  /// Team construction happens OUTSIDE mu_ (spawn blocks on thread
+  /// startup); only the map insert/lookup and the counters hold it.
+  std::map<std::string, std::shared_ptr<ThreadTeam>> teams_
+      BWFFT_GUARDED_BY(mu_);
+  Stats stats_ BWFFT_GUARDED_BY(mu_);
 };
 
 /// Engine-side team factory: a pooled team from TeamPool::global() when

@@ -104,6 +104,11 @@ void DoubleBufferPipeline::execute(const PipelineStage& stage) {
         }
         t_store += t.seconds();
         record(i, TraceEvent::Kind::Store, i, static_cast<int>(i % 2), tid);
+        // The store may be non-temporal; drain the write-combining
+        // buffers before the barrier publishes the output (the overlap
+        // path fences every data step — this keeps the degraded path
+        // under the same fence-pairing rule the static verifier proves).
+        stream_fence();
         wait_at_barrier(i);
       }
       merge_util(t_load, t_comp, t_store);
@@ -174,6 +179,7 @@ void DoubleBufferPipeline::execute_unpipelined(const PipelineStage& stage) {
       stage.compute(i, buf, tid, parts);
       wait_at_barrier(i);
       stage.store(i, buf, tid, parts);
+      stream_fence();  // NT stores must be visible before the barrier
       wait_at_barrier(i);
     }
   });

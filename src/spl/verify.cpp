@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/intervals.h"
 
 namespace bwfft::spl {
 
@@ -75,19 +76,11 @@ void visit(const Expr& e, VerifyReport& rep) {
       add(rep, VerifyIssue::Kind::NotPermutation, e.str(), os.str());
       return;
     }
-    // Re-derive the index map and confirm it is a bijection.
-    const idx_t m = total / sub;
-    std::vector<char> seen(static_cast<std::size_t>(total), 0);
-    bool bad = false;
-    for (idx_t j = 0; j < total && !bad; ++j) {
-      const idx_t to = (j % sub) * m + j / sub;
-      if (to < 0 || to >= total || seen[static_cast<std::size_t>(to)]) {
-        bad = true;
-      } else {
-        seen[static_cast<std::size_t>(to)] = 1;
-      }
-    }
-    if (bad) {
+    // Symbolic bijectivity (common/intervals.h): the image of residue
+    // class r under j -> (j mod sub)*(total/sub) + j div sub is the
+    // contiguous block [r*m, (r+1)*m), and the sub blocks tile
+    // [0, total) — O(1) instead of the former O(n) seen-vector probe.
+    if (!stride_perm_is_bijection(total, sub)) {
       add(rep, VerifyIssue::Kind::NotPermutation, e.str(),
           "index map is not a bijection");
     }

@@ -27,12 +27,12 @@ CachedPlan::CachedPlan(std::vector<idx_t> dims, Direction dir,
 }
 
 void CachedPlan::execute(cplx* in, cplx* out) {
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   engine_->execute(in, out);
 }
 
 void CachedPlan::execute_inplace(cplx* data) {
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   inplace_work_.resize(static_cast<std::size_t>(total_));
   engine_->execute(data, inplace_work_.data());
   copy_stream(data, inplace_work_.data(), total_, resolved_.nontemporal);
@@ -40,7 +40,7 @@ void CachedPlan::execute_inplace(cplx* data) {
 }
 
 Status CachedPlan::try_execute(cplx* in, cplx* out, ExecReport* rep) {
-  std::lock_guard<std::mutex> lk(exec_mu_);
+  MutexLock lk(exec_mu_);
   return try_execute_recovering(dims_, dir_, resolved_, engine_, in, out,
                                 rep);
 }
@@ -80,52 +80,62 @@ std::shared_ptr<CachedPlan> PlanCache::acquire(const std::vector<idx_t>& dims,
                                                Direction dir, FftOptions opts,
                                                const std::string& variant) {
   const std::string key = key_of(dims, dir, opts, variant);
-  std::unique_lock<std::mutex> lk(mu_);
-  for (;;) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) break;  // miss: build below
-    Entry& e = it->second;
-    if (e.building) {
-      // Another caller is constructing this plan; share its result
-      // rather than building a duplicate.
-      cv_.wait(lk, [&] {
-        auto again = entries_.find(key);
-        return again == entries_.end() || !again->second.building;
-      });
-      continue;  // re-find: the build may have failed and been erased
+  // The build happens outside mu_, so the function is three scoped
+  // critical sections (find-or-reserve, record-failure, publish) instead
+  // of one unique_lock with unlock/lock gaps — the scoped shape is what
+  // the clang thread-safety analysis can follow.
+  {
+    MutexLock lk(mu_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) break;  // miss: build below
+      Entry& e = it->second;
+      if (e.building) {
+        // Another caller is constructing this plan; share its result
+        // rather than building a duplicate.
+        for (;;) {
+          auto again = entries_.find(key);
+          if (again == entries_.end() || !again->second.building) break;
+          cv_.wait(mu_);
+        }
+        continue;  // re-find: the build may have failed and been erased
+      }
+      ++stats_.hits;
+      BWFFT_OBS_COUNT(PlanCacheHit, 1);
+      lru_.erase(e.lru_pos);
+      lru_.push_front(key);
+      e.lru_pos = lru_.begin();
+      return e.plan;
     }
-    ++stats_.hits;
-    BWFFT_OBS_COUNT(PlanCacheHit, 1);
-    lru_.erase(e.lru_pos);
-    lru_.push_front(key);
-    e.lru_pos = lru_.begin();
-    return e.plan;
-  }
 
-  ++stats_.misses;
-  BWFFT_OBS_COUNT(PlanCacheMiss, 1);
-  entries_.emplace(key, Entry{});  // placeholder: building
-  lk.unlock();
+    ++stats_.misses;
+    BWFFT_OBS_COUNT(PlanCacheMiss, 1);
+    entries_.emplace(key, Entry{});  // placeholder: building
+  }
 
   std::shared_ptr<CachedPlan> plan;
   try {
     plan = std::make_shared<CachedPlan>(dims, dir, opts);
   } catch (...) {
-    lk.lock();
-    entries_.erase(key);
+    {
+      MutexLock lk(mu_);
+      entries_.erase(key);
+    }
     cv_.notify_all();
     throw;
   }
 
-  lk.lock();
-  Entry& e = entries_[key];
-  e.plan = plan;
-  e.building = false;
-  lru_.push_front(key);
-  e.lru_pos = lru_.begin();
-  stats_.plans = entries_.size();
-  stats_.bytes += plan->footprint_bytes();
-  evict_locked();
+  {
+    MutexLock lk(mu_);
+    Entry& e = entries_[key];
+    e.plan = plan;
+    e.building = false;
+    lru_.push_front(key);
+    e.lru_pos = lru_.begin();
+    stats_.plans = entries_.size();
+    stats_.bytes += plan->footprint_bytes();
+    evict_locked();
+  }
   cv_.notify_all();
   return plan;
 }
@@ -148,12 +158,12 @@ void PlanCache::evict_locked() {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Entries under construction are owned by their builder; forget only
   // the completed ones.
   for (auto it = entries_.begin(); it != entries_.end();) {
@@ -169,7 +179,7 @@ void PlanCache::clear() {
 }
 
 void PlanCache::set_limits(Limits limits) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   limits_ = limits;
   evict_locked();
 }

@@ -24,16 +24,15 @@
 // tags) rather than share.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/aligned.h"
+#include "common/thread_safety.h"
 #include "common/error.h"
 #include "common/types.h"
 #include "fft/engine.h"
@@ -74,11 +73,15 @@ class CachedPlan {
  private:
   std::vector<idx_t> dims_;
   Direction dir_;
+  // resolved_ and engine_ are written at construction and then only under
+  // exec_mu_ (sticky degradation inside try_execute); the read-mostly
+  // accessors options()/engine_name() stay lock-free by design, so the
+  // two fields are deliberately not GUARDED_BY(exec_mu_).
   FftOptions resolved_;
   std::unique_ptr<MdEngine> engine_;
   idx_t total_ = 1;
-  std::mutex exec_mu_;
-  cvec inplace_work_;  // lazily sized by execute_inplace
+  Mutex exec_mu_;
+  cvec inplace_work_ BWFFT_GUARDED_BY(exec_mu_);  // sized by execute_inplace
 };
 
 class PlanCache {
@@ -125,15 +128,17 @@ class PlanCache {
   static std::string key_of(const std::vector<idx_t>& dims, Direction dir,
                             const FftOptions& opts,
                             const std::string& variant);
-  /// Drop LRU entries until within limits. Caller holds mu_.
-  void evict_locked();
+  /// Drop LRU entries until within limits. Caller holds mu_ (checked by
+  /// the clang -Wthread-safety legs).
+  void evict_locked() BWFFT_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Limits limits_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;  // signalled when a building entry completes or is erased
+  Limits limits_ BWFFT_GUARDED_BY(mu_);
+  std::map<std::string, Entry> entries_ BWFFT_GUARDED_BY(mu_);
+  /// front = most recently used
+  std::list<std::string> lru_ BWFFT_GUARDED_BY(mu_);
+  Stats stats_ BWFFT_GUARDED_BY(mu_);
 };
 
 }  // namespace bwfft::tune

@@ -1,0 +1,384 @@
+// bwfft_lint — static verification sweep over the planner's whole grid.
+//
+// For each representative transform shape this tool:
+//   1. symbolically verifies every candidate the tuner would consider
+//      (tune::enumerate_candidates x all engines): per-thread store
+//      windows pairwise disjoint and jointly covering, NT-store/fence
+//      pairing, double-buffer epoch aliasing, stage-to-stage element
+//      conservation — all by interval algebra, nothing executes;
+//   2. verifies the Table II schedule symbolically for every distinct
+//      role split the grid produces, and cross-checks that the runtime
+//      hazard checker (analysis::audit_schedule) agrees with the
+//      symbolic checker on the same trace;
+//   3. runs the SPL static verifier over the expression trees and
+//      lowered programs of the shape's algorithm variants.
+//
+// `--inject MODE` seeds one deliberate defect into an otherwise valid
+// model or trace and exits nonzero ONLY IF the static pass catches it
+// (and, for schedule defects, the runtime checker agrees) — the CI wiring
+// marks those invocations as must-fail, so a verifier that goes blind
+// turns the build red.
+//
+// Exit codes: 0 = everything proven clean, 1 = violations (or an inject
+// that was caught — the expected outcome under --inject), 2 = usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/hazard_checker.h"
+#include "analysis/static_verify.h"
+#include "common/types.h"
+#include "fft/options.h"
+#include "parallel/roles.h"
+#include "spl/algorithms.h"
+#include "spl/lower.h"
+#include "spl/verify.h"
+#include "tune/candidates.h"
+
+using namespace bwfft;
+
+namespace {
+
+struct LintOptions {
+  std::vector<std::vector<idx_t>> dims_list;
+  int threads = 8;  // fixed default: the sweep must not depend on the host
+  std::string inject;
+  bool verbose = false;
+};
+
+struct LintTally {
+  int configs_verified = 0;
+  int configs_skipped = 0;
+  int schedules_verified = 0;
+  int spl_verified = 0;
+  int violations = 0;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bwfft_lint [--dims AxB[xC]]... [--threads N] [-v|--verbose]\n"
+      "                  [--inject MODE]\n"
+      "  Statically verifies every tuner candidate at the given shapes\n"
+      "  (default: 64x64x64 32x64x128 48x48x48 256x256).\n"
+      "  MODE: store-overlap | store-gap | missing-fence | epoch-alias |\n"
+      "        schedule-half | schedule-dup  (seeded defect; exit 1 =\n"
+      "        caught, the expected outcome)\n");
+  return 2;
+}
+
+bool parse_dims(const char* s, std::vector<idx_t>* out) {
+  out->clear();
+  idx_t cur = 0;
+  bool any = false;
+  for (const char* p = s;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + (*p - '0');
+      any = true;
+    } else if (*p == 'x' || *p == '\0') {
+      if (!any || cur <= 0) return false;
+      out->push_back(cur);
+      cur = 0;
+      any = false;
+      if (*p == '\0') break;
+    } else {
+      return false;
+    }
+  }
+  return out->size() == 2 || out->size() == 3;
+}
+
+std::string dims_str(const std::vector<idx_t>& dims) {
+  std::string s;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    s += (i ? "x" : "") + std::to_string(dims[i]);
+  }
+  return s;
+}
+
+/// The compute split the double-buffer engine would resolve for a
+/// candidate (mirrors the engine's own default: even split, whole team
+/// when p == 1).
+int resolved_compute(int threads, int compute_threads) {
+  if (compute_threads >= 0) return compute_threads;
+  return threads <= 1 ? threads : threads / 2;
+}
+
+// ---------------------------------------------------------------------------
+// Leg 1+2: the tuner grid, engine models, and schedule cross-check.
+// ---------------------------------------------------------------------------
+
+void lint_grid(const std::vector<idx_t>& dims, const LintOptions& opt,
+               LintTally* tally) {
+  FftOptions req;
+  req.threads = opt.threads;
+  const auto grid = tune::enumerate_candidates(dims, req);
+
+  std::vector<int> splits_seen;
+  for (const auto& c : grid) {
+    const FftOptions opts = tune::apply_candidate(c, req);
+    analysis::PlanModel model;
+    std::string why;
+    if (!analysis::build_plan_model(dims, opts, &model, &why)) {
+      ++tally->configs_skipped;
+      if (opt.verbose) {
+        std::printf("  skip  %s %s: %s\n", dims_str(dims).c_str(),
+                    tune::candidate_label(c).c_str(), why.c_str());
+      }
+      continue;
+    }
+    const analysis::StaticReport rep = analysis::verify_plan(model);
+    if (!rep.ok()) {
+      std::printf("FAIL  %s\n%s\n", model.label().c_str(), rep.str().c_str());
+      tally->violations += static_cast<int>(rep.issues.size());
+    } else {
+      ++tally->configs_verified;
+      if (opt.verbose) {
+        std::printf("  ok    %s (%zu proofs)\n", model.label().c_str(),
+                    rep.checks);
+      }
+    }
+
+    // Schedule leg: one symbolic + runtime agreement pass per distinct
+    // role split the grid produces (the schedule depends only on the
+    // split, not on block/packet knobs).
+    if (c.engine != EngineKind::DoubleBuffer) continue;
+    const int pc = resolved_compute(opt.threads, c.compute_threads);
+    bool seen = false;
+    for (int s : splits_seen) seen = seen || s == pc;
+    if (seen) continue;
+    splits_seen.push_back(pc);
+    const RolePlan roles = make_role_plan(opt.threads, pc, req.topo);
+    for (idx_t iters : {idx_t{1}, idx_t{2}, idx_t{5}, idx_t{8}}) {
+      const analysis::Trace trace = analysis::make_table2_trace(iters, roles);
+      const analysis::HazardReport sym =
+          analysis::verify_schedule_symbolic(trace, iters, roles);
+      const analysis::HazardReport dyn =
+          analysis::audit_schedule(trace, iters, roles);
+      if (!sym.clean() || !dyn.clean()) {
+        std::printf("FAIL  schedule p=%d pc=%d iters=%lld\n", opt.threads, pc,
+                    static_cast<long long>(iters));
+        if (!sym.clean()) std::printf("  symbolic: %s", sym.str().c_str());
+        if (!dyn.clean()) std::printf("  runtime:  %s", dyn.str().c_str());
+        ++tally->violations;
+      } else {
+        ++tally->schedules_verified;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 3: SPL expression trees and lowered programs.
+// ---------------------------------------------------------------------------
+
+void lint_one_term(const char* name, const spl::ExprPtr& term,
+                   const LintOptions& opt, LintTally* tally) {
+  const spl::VerifyReport tr = spl::verify(*term);
+  if (!tr.ok()) {
+    std::printf("FAIL  spl term %s\n%s\n", name, tr.str().c_str());
+    tally->violations += static_cast<int>(tr.issues.size());
+    return;
+  }
+  const spl::Program prog = spl::lower(*term);
+  const spl::VerifyReport pr = spl::verify(prog);
+  if (!pr.ok()) {
+    std::printf("FAIL  spl program %s\n%s\n", name, pr.str().c_str());
+    tally->violations += static_cast<int>(pr.issues.size());
+    return;
+  }
+  ++tally->spl_verified;
+  if (opt.verbose) {
+    std::printf("  ok    spl %s (%zu + %zu nodes)\n", name, tr.nodes,
+                pr.nodes);
+  }
+}
+
+/// Largest packet size in {8,4,2,1} dividing m — what packet resolution
+/// would pick for the blocked variants.
+idx_t pick_mu(idx_t m) {
+  for (idx_t mu : {idx_t{8}, idx_t{4}, idx_t{2}}) {
+    if (m % mu == 0) return mu;
+  }
+  return 1;
+}
+
+void lint_spl(const std::vector<idx_t>& dims, const LintOptions& opt,
+              LintTally* tally) {
+  if (dims.size() == 2) {
+    const idx_t n = dims[0], m = dims[1];
+    lint_one_term("dft2d_pencil", spl::dft2d_pencil(n, m), opt, tally);
+    lint_one_term("dft2d_transposed", spl::dft2d_transposed(n, m), opt,
+                  tally);
+    lint_one_term("dft2d_blocked", spl::dft2d_blocked(n, m, pick_mu(m)), opt,
+                  tally);
+  } else {
+    const idx_t k = dims[0], n = dims[1], m = dims[2];
+    const idx_t mu = pick_mu(m);
+    lint_one_term("dft3d_pencil", spl::dft3d_pencil(k, n, m), opt, tally);
+    lint_one_term("dft3d_slab_pencil", spl::dft3d_slab_pencil(k, n, m), opt,
+                  tally);
+    lint_one_term("rotation_k", spl::rotation_k(k, n, m), opt, tally);
+    lint_one_term("rotation_k_blocked",
+                  spl::rotation_k_blocked(k, n, m, mu), opt, tally);
+    lint_one_term("dft3d_rotated", spl::dft3d_rotated(k, n, m, mu), opt,
+                  tally);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --inject: seed one defect; exit 1 only when the verifiers catch it.
+// ---------------------------------------------------------------------------
+
+/// A valid double-buffer model to corrupt: first default-config DB
+/// candidate of the first shape. Dies if the model cannot be built — the
+/// inject harness needs a working baseline.
+bool inject_base_model(const LintOptions& opt, analysis::PlanModel* model) {
+  FftOptions req;
+  req.threads = opt.threads;
+  req.engine = EngineKind::DoubleBuffer;
+  std::string why;
+  if (!analysis::build_plan_model(opt.dims_list.front(), req, model, &why)) {
+    std::fprintf(stderr, "inject: cannot build baseline model: %s\n",
+                 why.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// First stage with at least two store windows (every representative
+/// shape has one; parts >= 2 needs threads >= 4 for the default split).
+analysis::StageModel* corruptible_stage(analysis::PlanModel* model) {
+  for (auto& st : model->stages) {
+    if (st.stores.size() >= 2) return &st;
+  }
+  return nullptr;
+}
+
+int run_inject(const LintOptions& opt) {
+  const std::string& mode = opt.inject;
+  if (mode == "store-overlap" || mode == "store-gap" ||
+      mode == "missing-fence" || mode == "epoch-alias") {
+    analysis::PlanModel model;
+    if (!inject_base_model(opt, &model)) return 2;
+    analysis::StageModel* st = corruptible_stage(&model);
+    if (st == nullptr) {
+      std::fprintf(stderr, "inject: no stage with >= 2 store windows\n");
+      return 2;
+    }
+    if (mode == "store-overlap") {
+      // Rank 1 rewrites rank 0's window: overlap AND a gap where rank 1
+      // should have written.
+      st->stores[1].iv = st->stores[0].iv;
+    } else if (mode == "store-gap") {
+      st->stores.pop_back();
+    } else if (mode == "missing-fence") {
+      if (!st->nt_store) {
+        std::fprintf(stderr, "inject: baseline stage is not NT\n");
+        return 2;
+      }
+      st->fence_before_publish = false;
+    } else {  // epoch-alias
+      if (st->buf_loads.size() < 2) {
+        std::fprintf(stderr, "inject: baseline stage is not pipelined with"
+                             " >= 2 data ranks\n");
+        return 2;
+      }
+      // Rank 1's load window collides with rank 0's pending store.
+      st->buf_loads[1].iv = st->buf_stores[0].iv;
+    }
+    const analysis::StaticReport rep = analysis::verify_plan(model);
+    std::printf("inject %s on %s:\n%s\n", mode.c_str(),
+                model.label().c_str(), rep.str().c_str());
+    if (rep.ok()) {
+      std::printf("inject %s: NOT CAUGHT — the static pass is blind\n",
+                  mode.c_str());
+      return 0;  // must-fail CI wiring turns this into a red build
+    }
+    std::printf("inject %s: caught (%zu issues)\n", mode.c_str(),
+                rep.issues.size());
+    return 1;
+  }
+
+  if (mode == "schedule-half" || mode == "schedule-dup") {
+    // A split with data threads: the Table II schedule, not the degraded
+    // sequential one.
+    FftOptions req;
+    const int pc = resolved_compute(opt.threads, -1);
+    const RolePlan roles = make_role_plan(opt.threads, pc, req.topo);
+    if (roles.data == 0) {
+      std::fprintf(stderr, "inject: need a split with data threads\n");
+      return 2;
+    }
+    const idx_t iters = 4;
+    analysis::Trace trace = analysis::make_table2_trace(iters, roles);
+    if (mode == "schedule-half") {
+      trace.front().half ^= 1;
+    } else {
+      trace.push_back(trace.front());
+    }
+    const analysis::HazardReport sym =
+        analysis::verify_schedule_symbolic(trace, iters, roles);
+    const analysis::HazardReport dyn =
+        analysis::audit_schedule(trace, iters, roles);
+    std::printf("inject %s: symbolic %s, runtime %s\n", mode.c_str(),
+                sym.clean() ? "MISSED" : "caught",
+                dyn.clean() ? "MISSED" : "caught");
+    if (!sym.clean()) std::printf("%s\n", sym.str().c_str());
+    // Both checkers must reject — a miss by either one (or a
+    // disagreement) exits 0 and fails the must-fail CI assertion.
+    return (!sym.clean() && !dyn.clean()) ? 1 : 0;
+  }
+
+  std::fprintf(stderr, "unknown inject mode '%s'\n", mode.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--dims") && i + 1 < argc) {
+      std::vector<idx_t> d;
+      if (!parse_dims(argv[++i], &d)) return usage();
+      opt.dims_list.push_back(std::move(d));
+    } else if (!std::strcmp(a, "--threads") && i + 1 < argc) {
+      opt.threads = std::atoi(argv[++i]);
+      if (opt.threads < 1) return usage();
+    } else if (!std::strcmp(a, "--inject") && i + 1 < argc) {
+      opt.inject = argv[++i];
+    } else if (!std::strcmp(a, "-v") || !std::strcmp(a, "--verbose")) {
+      opt.verbose = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.dims_list.empty()) {
+    opt.dims_list = {{64, 64, 64}, {32, 64, 128}, {48, 48, 48}, {256, 256}};
+  }
+
+  if (!opt.inject.empty()) return run_inject(opt);
+
+  LintTally tally;
+  for (const auto& dims : opt.dims_list) {
+    std::printf("lint %s (threads=%d)\n", dims_str(dims).c_str(),
+                opt.threads);
+    lint_grid(dims, opt, &tally);
+    lint_spl(dims, opt, &tally);
+  }
+  std::printf(
+      "bwfft_lint: %d configurations proven, %d skipped, %d schedule "
+      "traces cross-checked, %d SPL terms verified\n",
+      tally.configs_verified, tally.configs_skipped,
+      tally.schedules_verified, tally.spl_verified);
+  if (tally.violations > 0) {
+    std::printf("bwfft_lint: FAIL (%d violations)\n", tally.violations);
+    return 1;
+  }
+  std::printf("bwfft_lint: CLEAN\n");
+  return 0;
+}

@@ -71,23 +71,40 @@ int check_term(const char* name, const spl::Expr& term, bool expect_perm) {
   return failures;
 }
 
-int run_spl(const std::vector<idx_t>& dims, idx_t mu, int sk) {
+int run_spl(const std::vector<idx_t>& dims, idx_t mu, bool mu_requested,
+            int sk) {
   int failures = 0;
+  int skipped = 0;
   std::printf("spl verify:\n");
+  // An inapplicable packet size used to skip the blocked variants
+  // SILENTLY, so `--mu 3` on an odd row length reported CLEAN and exit 0
+  // without verifying anything the caller asked for. Now every skip
+  // prints, and a skip of an explicitly requested --mu is a failure.
+  const bool mu_ok = mu >= 1 && dims.back() % mu == 0;
+  if (!mu_ok && mu_requested) {
+    std::printf("  %-22s FAIL: requested --mu %lld does not divide m=%lld\n",
+                "packet size", static_cast<long long>(mu),
+                static_cast<long long>(dims.back()));
+    ++failures;
+  }
   if (dims.size() == 2) {
     const idx_t n = dims[0], m = dims[1];
     failures += check_term("dft2d_pencil", *spl::dft2d_pencil(n, m), false);
     failures +=
         check_term("dft2d_transposed", *spl::dft2d_transposed(n, m), false);
-    if (m % mu == 0) {
+    if (mu_ok) {
       failures +=
           check_term("dft2d_blocked", *spl::dft2d_blocked(n, m, mu), false);
+    } else {
+      std::printf("  %-22s skipped (mu=%lld does not divide m=%lld)\n",
+                  "dft2d_blocked", (long long)mu, (long long)m);
+      ++skipped;
     }
     failures += check_term("L (stride perm)", *spl::stride_perm(n * m, m), true);
   } else {
     const idx_t k = dims[0], n = dims[1], m = dims[2];
     failures += check_term("dft3d_pencil", *spl::dft3d_pencil(k, n, m), false);
-    if (m % mu == 0) {
+    if (mu_ok) {
       failures +=
           check_term("dft3d_rotated", *spl::dft3d_rotated(k, n, m, mu), false);
       failures += check_term("rotation_k_blocked",
@@ -98,6 +115,16 @@ int run_spl(const std::vector<idx_t>& dims, idx_t mu, int sk) {
       } else if (sk > 1) {
         std::printf("  %-22s skipped (socket split %lld does not divide k=%lld)\n",
                     "dft3d_dual_socket", (long long)sk, (long long)k);
+        ++skipped;
+      }
+    } else {
+      std::printf("  %-22s skipped (mu=%lld does not divide m=%lld)\n",
+                  "dft3d_rotated/blocked", (long long)mu, (long long)m);
+      skipped += 2;
+      if (sk > 1) {
+        std::printf("  %-22s skipped (needs a valid mu)\n",
+                    "dft3d_dual_socket");
+        ++skipped;
       }
     }
     failures += check_term("rotation_k", *spl::rotation_k(k, n, m), true);
@@ -120,8 +147,14 @@ int run_spl(const std::vector<idx_t>& dims, idx_t mu, int sk) {
                   "lowered four-step", prog.ops().size(),
                   static_cast<long long>(total));
     }
+  } else {
+    std::printf("  %-22s skipped (%lld is not split by a=%lld)\n",
+                "lowered four-step", static_cast<long long>(total),
+                static_cast<long long>(a));
+    ++skipped;
   }
-  std::printf("spl verify: %s\n", failures == 0 ? "CLEAN" : "VIOLATIONS");
+  std::printf("spl verify: %s (%d skipped, %d failures)\n",
+              failures == 0 ? "CLEAN" : "VIOLATIONS", skipped, failures);
   return failures == 0 ? 0 : 1;
 }
 
@@ -183,6 +216,7 @@ int main(int argc, char** argv) {
 
   std::vector<idx_t> dims;
   idx_t mu = 2, block = 4096, iters = 16;
+  bool mu_requested = false;
   int threads = 0, compute = -1, sk = 2;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -194,6 +228,7 @@ int main(int argc, char** argv) {
       dims = parse_dims(next());
     } else if (arg == "--mu") {
       mu = std::atoll(next().c_str());
+      mu_requested = true;
     } else if (arg == "--socket-split") {
       sk = std::atoi(next().c_str());
     } else if (arg == "--threads") {
@@ -213,7 +248,7 @@ int main(int argc, char** argv) {
     if (cmd == "spl") {
       if (dims.empty()) dims = {8, 8, 8};
       if (dims.size() != 2 && dims.size() != 3) usage(argv[0]);
-      return run_spl(dims, mu, sk);
+      return run_spl(dims, mu, mu_requested, sk);
     }
     if (cmd == "pipeline") {
       return run_pipeline(threads, compute, block, iters);

@@ -8,7 +8,9 @@
 #   ./tools/check.sh --quick    # same as quick
 #   ./tools/check.sh faults     # ASan+UBSan: fault tests, then the tier-1
 #                               # suite once per BWFFT_FAULTS fault family
-#   ./tools/check.sh ci         # the hosted-CI chain: quick, asan, tsan
+#   ./tools/check.sh lint       # static checks: bwfft_lint sweep over the
+#                               # tuner grid + seeded-defect assertions
+#   ./tools/check.sh ci         # the hosted-CI chain: quick, lint, asan, tsan
 #
 # Build trees live under BWFFT_BUILD_DIR (default: the repo root), one per
 # configuration (build-asan/, build-tsan/, build-quick/) so each can be
@@ -24,6 +26,7 @@
 #   2   usage error (unknown mode)
 #   10  asan failed        11  tsan failed
 #   12  quick failed       13  faults failed
+#   14  lint failed
 #
 # The quick configuration is the fast pre-push gate: an uninstrumented
 # RelWithDebInfo build running `ctest -L tier1`, then a bench smoke —
@@ -45,7 +48,7 @@ BUILD_BASE="${BWFFT_BUILD_DIR:-$ROOT}"
 JOBS="${JOBS:-$(nproc)}"
 
 usage() {
-  echo "usage: $0 [asan|tsan|quick|faults|ci ...]" >&2
+  echo "usage: $0 [asan|tsan|quick|faults|lint|ci ...]" >&2
   exit 2
 }
 
@@ -55,6 +58,7 @@ exit_code_for() {
     tsan) echo 11 ;;
     quick|--quick) echo 12 ;;
     faults) echo 13 ;;
+    lint) echo 14 ;;
     *) echo 2 ;;
   esac
 }
@@ -143,6 +147,29 @@ run_faults() {
   echo "=== [faults] clean ==="
 }
 
+run_lint() {
+  local build="$BUILD_BASE/build-quick"
+  echo "=== [lint] configure ==="
+  cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== [lint] build bwfft_lint ==="
+  cmake --build "$build" -j "$JOBS" --target bwfft_lint
+  echo "=== [lint] static sweep over the tuner grid ==="
+  "$build/tools/bwfft_lint"
+  # Seeded defects: every mode must be CAUGHT (nonzero exit). An inject
+  # that slips through exits 0, which fails this gate — the verifier is
+  # itself verified.
+  local mode
+  for mode in store-overlap store-gap missing-fence epoch-alias \
+              schedule-half schedule-dup; do
+    echo "=== [lint] inject $mode (must be caught) ==="
+    if "$build/tools/bwfft_lint" --inject "$mode" > /dev/null; then
+      echo "inject $mode was NOT caught" >&2
+      return 1
+    fi
+  done
+  echo "=== [lint] clean ==="
+}
+
 # Internal: run exactly one mode in a child process, where `set -e` is
 # fully effective (inside an `if !`/`||` guard the shell suspends -e, so
 # the parent drives each mode through a re-invocation instead).
@@ -153,6 +180,7 @@ if [[ "${1:-}" == "--one" ]]; then
     tsan) run_config tsan "thread" ;;
     quick|--quick) run_quick ;;
     faults) run_faults ;;
+    lint) run_lint ;;
     *) usage ;;
   esac
   exit 0
@@ -169,9 +197,9 @@ fi
 MODES=()
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
-    asan|tsan|quick|--quick|faults) MODES+=("$cfg") ;;
-    ci) MODES+=(quick asan tsan) ;;
-    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults, ci)" >&2
+    asan|tsan|quick|--quick|faults|lint) MODES+=("$cfg") ;;
+    ci) MODES+=(quick lint asan tsan) ;;
+    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults, lint, ci)" >&2
        exit 2 ;;
   esac
 done
