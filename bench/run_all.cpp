@@ -92,14 +92,34 @@ BenchRow run_case(EngineKind kind, const std::vector<idx_t>& dims,
     best = std::min(best, t.seconds());
   }
 
-  // One observed replay for counters and per-stage slices (kept out of
-  // the timed loop).
-  obs::reset_counters();
-  obs::start_trace();
-  run_once();
-  obs::stop_trace();
-  const std::vector<obs::Slice> slices = obs::drain_trace();
-  const obs::CounterSnapshot snap = obs::counters();
+  // Observed replays for counters and per-stage slices (kept out of the
+  // timed loop). The stage roofline comes from ONE traced execution, so
+  // a single scheduler hiccup would poison the published per-stage
+  // numbers where the wall-clock number is already protected by best-of;
+  // replay a few times and keep the trace whose engine ('G') slices
+  // total least.
+  std::vector<obs::Slice> slices;
+  obs::CounterSnapshot snap;
+  double best_stage_total = 1e30;
+  const int observed_reps = kind == EngineKind::Reference ? 1 : 3;
+  for (int r = 0; r < observed_reps; ++r) {
+    obs::reset_counters();
+    obs::start_trace();
+    run_once();
+    obs::stop_trace();
+    std::vector<obs::Slice> got = obs::drain_trace();
+    double stage_total = 0.0;
+    for (const obs::Slice& s : got) {
+      if (s.phase == 'G') {
+        stage_total += static_cast<double>(s.t1_ns - s.t0_ns);
+      }
+    }
+    if (stage_total < best_stage_total) {
+      best_stage_total = stage_total;
+      slices = std::move(got);
+      snap = obs::counters();
+    }
+  }
 
   BenchRow row;
   row.engine = engine_name(kind);

@@ -65,6 +65,13 @@ bool valid_tune_level(const std::string& name) {
   return name == "estimate" || name == "measure" || name == "exhaustive";
 }
 
+bool valid_isa(const std::string& name) {
+  // Mirrors kernels::isa_from_name without the dependency (this library
+  // sits below the kernel layer): auto, scalar, avx2, avx512(+f alias).
+  return name == "auto" || name == "scalar" || name == "avx2" ||
+         name == "avx512" || name == "avx512f";
+}
+
 bool parse_args(const std::vector<std::string>& args, Options* out,
                 std::string* err) {
   Options o;
@@ -129,6 +136,19 @@ bool parse_args(const std::vector<std::string>& args, Options* out,
       o.stats = true;
     } else if (arg == "--verbose") {
       o.verbose = true;
+    } else if (arg == "--dispatch") {
+      o.dispatch = true;
+    } else if (arg == "--isa") {
+      std::string token;
+      if (!next(&token)) return false;
+      if (!valid_isa(token)) {
+        if (err) {
+          *err = "bad --isa '" + token +
+                 "' (expected auto, scalar, avx2 or avx512)";
+        }
+        return false;
+      }
+      o.isa = token;
     } else if (arg == "--trace") {
       std::string token;
       if (!next(&token)) return false;

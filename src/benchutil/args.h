@@ -31,6 +31,8 @@ struct Options {
   bool nontemporal = true;
   bool stats = false;
   bool verbose = false;  ///< print the degradation / fault report
+  bool dispatch = false; ///< print the kernel ISA dispatch report and exit
+  std::string isa;       ///< --isa request; empty = auto (runtime dispatch)
   std::string trace_path;  ///< empty = no chrome-trace export
   std::string tune;        ///< --tune level; empty = no autotuning
   std::string wisdom_path; ///< --wisdom file; empty = no persistence
@@ -56,6 +58,9 @@ bool valid_engine(const std::string& name);
 
 /// Accepted --tune levels: estimate, measure, exhaustive.
 bool valid_tune_level(const std::string& name);
+
+/// Accepted --isa spellings: auto, scalar, avx2, avx512 (kernels/isa.h).
+bool valid_isa(const std::string& name);
 
 /// Parse the full argument vector (argv[1..argc)). On failure returns
 /// false with a usage-ready message in *err; *out is unspecified.

@@ -25,8 +25,8 @@ DoubleBuffer1d::DoubleBuffer1d(idx_t n, Direction dir, const FftOptions& opts)
   b_ = n_ / a_;
   mu_ = std::min(std::min(kMu, a_), b_);
 
-  fft_a_ = std::make_shared<Fft1d>(a_, dir_);
-  fft_b_ = std::make_shared<Fft1d>(b_, dir_);
+  fft_a_ = std::make_shared<Fft1d>(a_, dir_, opts_.isa);
+  fft_b_ = std::make_shared<Fft1d>(b_, dir_, opts_.isa);
 
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
   const int pc = opts_.compute_threads >= 0 ? opts_.compute_threads

@@ -26,7 +26,7 @@ DualSocketFft3d::DualSocketFft3d(idx_t k, idx_t n, idx_t m, Direction dir,
              StageGeometry{m_ / mu_, ksl_, n_, mu_, mu_},
              StageGeometry{nsl_, m_ / mu_, k_, mu_, mu_}};
   for (const auto& g : stages_) {
-    ffts_.push_back(std::make_shared<Fft1d>(g.fft_len, dir_));
+    ffts_.push_back(std::make_shared<Fft1d>(g.fft_len, dir_, opts_.isa));
   }
 
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();

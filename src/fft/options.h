@@ -5,6 +5,7 @@
 
 #include "common/topology.h"
 #include "common/types.h"
+#include "kernels/isa.h"
 
 namespace bwfft {
 
@@ -83,6 +84,13 @@ struct FftOptions {
   /// 1 forces the element-wise rotation of the unblocked formulas — the
   /// blocked-vs-element ablation of §III-A.
   idx_t packet_elems = 0;
+
+  /// Instruction-set request for the batched codelets (kernels/isa.h):
+  /// Auto (the default) resolves from cpuid / the BWFFT_ISA override at
+  /// dispatch time; a concrete value pins the plan's kernels, clamped to
+  /// what the host can execute. The ISA ablation benches and the tuner's
+  /// dispatch-aware candidate grid set this.
+  kernels::Isa isa = kernels::Isa::Auto;
 
   /// Planner effort when engine == EngineKind::Auto (ignored otherwise).
   TuneLevel tune_level = TuneLevel::Estimate;

@@ -17,7 +17,7 @@ PencilEngine::PencilEngine(std::vector<idx_t> dims, Direction dir,
   for (idx_t d : dims_) {
     BWFFT_CHECK(is_pow2(d), "pencil engine requires power-of-two sizes");
     total_ *= d;
-    ffts_.push_back(std::make_shared<Fft1d>(d, dir_));
+    ffts_.push_back(std::make_shared<Fft1d>(d, dir_, opts_.isa));
   }
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
   team_ = parallel::make_team(p, {}, opts_.team_pool);

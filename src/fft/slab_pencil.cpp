@@ -17,9 +17,9 @@ SlabPencilEngine::SlabPencilEngine(std::vector<idx_t> dims, Direction dir,
   total_ = k * n * m;
   const idx_t mu = packet_size_for(m);
   slab_stages_ = make_2d_stages(n, m, mu);
-  fft_m_ = std::make_shared<Fft1d>(m, dir_);
-  fft_n_ = std::make_shared<Fft1d>(n, dir_);
-  fft_k_ = std::make_shared<Fft1d>(k, dir_);
+  fft_m_ = std::make_shared<Fft1d>(m, dir_, opts_.isa);
+  fft_n_ = std::make_shared<Fft1d>(n, dir_, opts_.isa);
+  fft_k_ = std::make_shared<Fft1d>(k, dir_, opts_.isa);
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
   team_ = parallel::make_team(p, {}, opts_.team_pool);
   slab_work_.reserve(static_cast<std::size_t>(p));

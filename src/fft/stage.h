@@ -14,6 +14,7 @@
 
 #include "common/error.h"
 #include "common/types.h"
+#include "kernels/isa.h"
 #include "kernels/twiddle.h"
 
 namespace bwfft {
@@ -32,16 +33,26 @@ struct StageGeometry {
 };
 
 /// Largest packet size usable for the fast dimension m: a power of two
-/// dividing m, at most the cacheline packet kMu.
-inline idx_t packet_size_for(idx_t m) {
+/// dividing m, at most `cap` (by default the cacheline packet kMu).
+inline idx_t packet_size_for(idx_t m, idx_t cap = kMu) {
   idx_t mu = 1;
-  while (mu < kMu && (m % (2 * mu)) == 0) mu *= 2;
+  while (mu < cap && (m % (2 * mu)) == 0) mu *= 2;
   return mu;
 }
 
-/// Resolve a requested packet size against the fast dimension: 0 = auto.
+/// Cap for the *auto* packet under the current dispatch state. The
+/// AVX-512 batch tables run 8 complex lanes per chunk, so a mu = 4
+/// packet would leave their chunk loop empty and cascade down to 256-bit
+/// ops; double the packet to two cachelines there. Narrower dispatch
+/// keeps the one-cacheline packet of §III-A.
+inline idx_t auto_packet_cap() {
+  return kernels::active_isa() == kernels::Isa::Avx512 ? 2 * kMu : kMu;
+}
+
+/// Resolve a requested packet size against the fast dimension: 0 = auto
+/// (the widest packet the dispatched ISA can fill, see auto_packet_cap).
 inline idx_t resolve_packet_size(idx_t requested, idx_t m) {
-  if (requested <= 0) return packet_size_for(m);
+  if (requested <= 0) return packet_size_for(m, auto_packet_cap());
   BWFFT_CHECK(m % requested == 0, "packet_elems must divide the fast dim");
   return requested;
 }

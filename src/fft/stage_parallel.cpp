@@ -31,7 +31,7 @@ StageParallelEngine::StageParallelEngine(std::vector<idx_t> dims,
     stages_.assign(s.begin(), s.end());
   }
   for (const auto& g : stages_) {
-    ffts_.push_back(std::make_shared<Fft1d>(g.fft_len, dir_));
+    ffts_.push_back(std::make_shared<Fft1d>(g.fft_len, dir_, opts_.isa));
   }
   const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
   team_ = parallel::make_team(p, {}, opts_.team_pool);

@@ -4,7 +4,6 @@
 
 #include "common/error.h"
 #include "kernels/codelets.h"
-#include "kernels/vecops.h"
 
 namespace bwfft {
 
@@ -20,31 +19,28 @@ cplx* thread_scratch(std::size_t elems) {
 
 }  // namespace
 
-Fft1d::Fft1d(idx_t n, Direction dir) : n_(n), dir_(dir) {
+Fft1d::Fft1d(idx_t n, Direction dir, kernels::Isa isa)
+    : n_(n), dir_(dir), isa_(isa) {
   BWFFT_CHECK(n >= 1, "FFT size must be >= 1");
   if (is_pow2(n_)) {
-    // Stockham schedule: radix-4 levels, with one trailing radix-2 level
-    // when log2(n) is odd.
+    // Greedy high-radix Stockham schedule: radix-16 levels while the
+    // remaining length divides 16, then one radix-8/4/2 level for the
+    // leftover. Each level is executed by the batched radix-r codelet
+    // with the per-packet twiddle rows precomputed here.
     for (idx_t len = n_; len > 1;) {
+      const idx_t r = len % 16 == 0 ? 16 : len;  // leftover is 2, 4, or 8
+      const idx_t q = len / r;
       StockhamLevel lvl;
-      if (len % 4 == 0) {
-        lvl.radix = 4;
-        const idx_t quarter = len / 4;
-        lvl.tw.resize(static_cast<std::size_t>(3 * quarter));
-        for (idx_t p = 0; p < quarter; ++p) {
-          lvl.tw[static_cast<std::size_t>(3 * p)] = root_of_unity(len, p, dir_);
-          lvl.tw[static_cast<std::size_t>(3 * p + 1)] =
-              root_of_unity(len, (2 * p) % len, dir_);
-          lvl.tw[static_cast<std::size_t>(3 * p + 2)] =
-              root_of_unity(len, (3 * p) % len, dir_);
+      lvl.radix = r;
+      lvl.tw.resize(static_cast<std::size_t>((r - 1) * q));
+      for (idx_t p = 0; p < q; ++p) {
+        for (idx_t k = 1; k < r; ++k) {
+          lvl.tw[static_cast<std::size_t>((r - 1) * p + (k - 1))] =
+              root_of_unity(len, (k * p) % len, dir_);
         }
-        len >>= 2;
-      } else {
-        lvl.radix = 2;
-        lvl.tw = root_table(len, len / 2, dir_);
-        len >>= 1;
       }
       slevels_.push_back(std::move(lvl));
+      len = q;
     }
     const int levels = log2_floor(n_);
     dit_tw_ = root_table(n_, std::max<idx_t>(n_ / 2, 1), dir_);
@@ -57,8 +53,8 @@ Fft1d::Fft1d(idx_t n, Direction dir) : n_(n), dir_(dir) {
       }
       bitrev_[static_cast<std::size_t>(i)] = r;
     }
-  } else if (codelets::lookup(n_) != nullptr) {
-    // Small sizes use the hand-unrolled codelets directly.
+  } else if (n_ <= codelets::kMaxCodelet) {
+    // Small sizes run the batched codelets directly; no plan state.
   } else if (MixedRadixFft::supported(n_)) {
     mixed_ = std::make_unique<MixedRadixFft>(n_, dir_);
   } else {
@@ -70,8 +66,8 @@ Fft1d::Fft1d(idx_t n, Direction dir) : n_(n), dir_(dir) {
       chirp_[static_cast<std::size_t>(j)] =
           root_of_unity(2 * n_, (j * j) % (2 * n_), dir_);
     }
-    conv_fwd_ = std::make_shared<Fft1d>(conv_n_, Direction::Forward);
-    conv_inv_ = std::make_shared<Fft1d>(conv_n_, Direction::Inverse);
+    conv_fwd_ = std::make_shared<Fft1d>(conv_n_, Direction::Forward, isa_);
+    conv_inv_ = std::make_shared<Fft1d>(conv_n_, Direction::Inverse, isa_);
     // Kernel b[j] = conj(c[j]) for |j| < n, wrapped mod M, then FFT'd.
     cvec kernel(static_cast<std::size_t>(conv_n_), cplx(0.0, 0.0));
     for (idx_t j = 0; j < n_; ++j) {
@@ -84,57 +80,29 @@ Fft1d::Fft1d(idx_t n, Direction dir) : n_(n), dir_(dir) {
   }
 }
 
-void Fft1d::stockham_tile(cplx* tile, cplx* scratch, idx_t lanes) const {
+void Fft1d::stockham_tile(cplx* tile, cplx* scratch, idx_t lanes,
+                          const kernels::BatchTable& bt) const {
   // Iterative DIF Stockham autosort over the precomputed radix schedule.
-  // A level of radix r transforms sub-length `len` with packet stride `s`;
-  // afterwards len /= r and s *= r, and the buffers swap. The result is
-  // copied back if it ends in the scratch buffer.
+  // A level of radix r splits sub-length `len` into q = len/r input
+  // packets at stride s: the batched codelet reads rows src + s*(p + j*q)
+  // (row stride s*q), writes rows dst + s*(r*p + k) (row stride s), and
+  // scales output row k by w_len^{p*k} — afterwards len /= r, s *= r, and
+  // the buffers swap. The result is copied back if it ends in scratch.
   cplx* src = tile;
   cplx* dst = scratch;
   idx_t len = n_;
   idx_t s = lanes;
-  const bool scalar = force_scalar() || !vecops::kHaveAvx2Fma;
   for (const StockhamLevel& lvl : slevels_) {
-    if (lvl.radix == 4) {
-      const idx_t q = len / 4;
-      for (idx_t p = 0; p < q; ++p) {
-        const cplx w1 = lvl.tw[static_cast<std::size_t>(3 * p)];
-        const cplx w2 = lvl.tw[static_cast<std::size_t>(3 * p + 1)];
-        const cplx w3 = lvl.tw[static_cast<std::size_t>(3 * p + 2)];
-        const cplx* a = src + s * p;
-        const cplx* b = src + s * (p + q);
-        const cplx* c = src + s * (p + 2 * q);
-        const cplx* d = src + s * (p + 3 * q);
-        cplx* y0 = dst + s * 4 * p;
-        cplx* y1 = dst + s * (4 * p + 1);
-        cplx* y2 = dst + s * (4 * p + 2);
-        cplx* y3 = dst + s * (4 * p + 3);
-        if (!scalar && s % 2 == 0) {
-          vecops::butterfly4_packets(a, b, c, d, w1, w2, w3, y0, y1, y2, y3,
-                                     s, dir_);
-        } else {
-          vecops::butterfly4_packets_scalar(a, b, c, d, w1, w2, w3, y0, y1,
-                                            y2, y3, s, dir_);
-        }
-      }
-      len >>= 2;
-      s <<= 2;
-    } else {
-      const idx_t half = len / 2;
-      for (idx_t p = 0; p < half; ++p) {
-        const cplx w = lvl.tw[static_cast<std::size_t>(p)];
-        if (!scalar && s % 2 == 0) {
-          vecops::butterfly_packets(src + s * p, src + s * (p + half), w,
-                                    dst + s * 2 * p, dst + s * (2 * p + 1), s);
-        } else {
-          vecops::butterfly_packets_scalar(src + s * p, src + s * (p + half),
-                                           w, dst + s * 2 * p,
-                                           dst + s * (2 * p + 1), s);
-        }
-      }
-      len >>= 1;
-      s <<= 1;
+    const idx_t r = lvl.radix;
+    const idx_t q = len / r;
+    const kernels::BatchFn fn = bt.fn[r];
+    const cplx* tw = lvl.tw.data();
+    fn(src, s * q, dst, s, s, nullptr, dir_);  // p = 0: unit twiddles
+    for (idx_t p = 1; p < q; ++p) {
+      fn(src + s * p, s * q, dst + s * r * p, s, s, tw + (r - 1) * p, dir_);
     }
+    len = q;
+    s *= r;
     std::swap(src, dst);
   }
   if (src != tile) {
@@ -147,21 +115,20 @@ void Fft1d::apply_lanes(cplx* data, idx_t lanes, idx_t count) const {
   if (n_ == 1 || count == 0) return;
 
   if (is_pow2(n_)) {
+    const kernels::BatchTable& bt = kernels::dispatch_batch_table(isa_);
     cplx* scratch = thread_scratch(static_cast<std::size_t>(n_ * lanes));
     for (idx_t t = 0; t < count; ++t) {
-      stockham_tile(data + t * n_ * lanes, scratch, lanes);
+      stockham_tile(data + t * n_ * lanes, scratch, lanes, bt);
     }
     return;
   }
 
-  if (codelets::CodeletFn fn = codelets::lookup(n_)) {
-    cplx tmp[codelets::kMaxCodelet];
+  if (n_ <= codelets::kMaxCodelet) {
+    // One batched call per tile, in place (is == os == lanes).
+    const kernels::BatchFn fn = kernels::dispatch_batch_table(isa_).fn[n_];
     for (idx_t t = 0; t < count; ++t) {
       cplx* tile = data + t * n_ * lanes;
-      for (idx_t l = 0; l < lanes; ++l) {
-        fn(tile + l, lanes, tmp, 1, dir_);
-        for (idx_t j = 0; j < n_; ++j) tile[j * lanes + l] = tmp[j];
-      }
+      fn(tile, lanes, tile, lanes, lanes, nullptr, dir_);
     }
     return;
   }
@@ -224,6 +191,7 @@ void Fft1d::apply_lanes_strided(cplx* base, idx_t lanes,
   BWFFT_CHECK(is_pow2(n_), "strided lanes path requires power-of-two n");
   BWFFT_CHECK(lanes >= 1 && row_stride >= lanes, "bad lanes/row_stride");
   if (n_ == 1) return;
+  const kernels::BatchTable& bt = kernels::dispatch_batch_table(isa_);
   // One allocation holds the gathered tile and the Stockham scratch.
   cplx* tile = thread_scratch(static_cast<std::size_t>(2 * n_ * lanes));
   cplx* scratch = tile + n_ * lanes;
@@ -231,7 +199,7 @@ void Fft1d::apply_lanes_strided(cplx* base, idx_t lanes,
     std::memcpy(tile + j * lanes, base + j * row_stride,
                 static_cast<std::size_t>(lanes) * sizeof(cplx));
   }
-  stockham_tile(tile, scratch, lanes);
+  stockham_tile(tile, scratch, lanes, bt);
   for (idx_t j = 0; j < n_; ++j) {
     std::memcpy(base + j * row_stride, tile + j * lanes,
                 static_cast<std::size_t>(lanes) * sizeof(cplx));

@@ -8,8 +8,10 @@
 //    row-major block, are transformed along the n dimension in place.
 //    This is the SPL construct I_count (x) DFT_n (x) I_lanes. With
 //    lanes = mu (one cacheline) every butterfly streams whole cachelines,
-//    which is the paper's "cache aware FFT" (§IV-A). Stockham autosort,
-//    AVX2+FMA vectorised over the lane packets.
+//    which is the paper's "cache aware FFT" (§IV-A). Stockham autosort
+//    over the batched split-format codelets (kernels/batch.h), radices
+//    {16, 8, 4, 2}, SIMD-dispatched at run time (scalar / AVX2+FMA /
+//    AVX-512 from cpuid).
 //
 //  * apply_batch(data, count) — lanes = 1 special case (I_count (x) DFT_n),
 //    the stage-1 kernel operating on contiguous pencils.
@@ -19,10 +21,10 @@
 //    baseline the paper criticises. Iterative DIT with bit-reversal; no
 //    buffering, so large strides hit main memory hard — deliberately.
 //
-// Power-of-two sizes run the Stockham/DIT paths; other sizes use small-DFT
-// codelets (n <= 16), the mixed-radix Cooley–Tukey engine (smooth sizes,
-// prime factors <= 7), or Bluestein's chirp-z algorithm on top of the
-// power-of-two engine (everything else).
+// Power-of-two sizes run the Stockham/DIT paths; other sizes use the
+// batched small-DFT codelets (n <= 16), the mixed-radix Cooley–Tukey
+// engine (smooth sizes, prime factors <= 7), or Bluestein's chirp-z
+// algorithm on top of the power-of-two engine (everything else).
 #pragma once
 
 #include <memory>
@@ -31,6 +33,7 @@
 #include "common/aligned.h"
 #include "common/types.h"
 #include "fft1d/mixed_radix.h"
+#include "kernels/batch.h"
 #include "kernels/twiddle.h"
 
 namespace bwfft {
@@ -39,11 +42,16 @@ class Fft1d {
  public:
   /// Plan a transform of size n (n >= 1, any n) in the given direction.
   /// Planning precomputes all twiddles; apply* methods are const and
-  /// thread-safe (scratch is per-thread).
-  Fft1d(idx_t n, Direction dir);
+  /// thread-safe (scratch is per-thread). `isa` is the instruction-set
+  /// REQUEST for the batched codelets: the default Auto follows the
+  /// kernels/isa.h decision path (env override, cpuid) at apply time, so
+  /// a plan built once still honours later BWFFT_ISA / force_scalar
+  /// toggles; a concrete request pins the plan (clamped to the host).
+  Fft1d(idx_t n, Direction dir, kernels::Isa isa = kernels::Isa::Auto);
 
   idx_t size() const { return n_; }
   Direction direction() const { return dir_; }
+  kernels::Isa isa() const { return isa_; }
 
   /// In-place transform of `count` tiles, each an n x lanes row-major
   /// block: element (j,l) of tile t lives at data[t*n*lanes + j*lanes + l].
@@ -75,19 +83,25 @@ class Fft1d {
   void scale_inverse(cplx* data, idx_t count) const;
 
  private:
-  void stockham_tile(cplx* tile, cplx* scratch, idx_t lanes) const;
+  void stockham_tile(cplx* tile, cplx* scratch, idx_t lanes,
+                     const kernels::BatchTable& bt) const;
   void bluestein(cplx* data) const;
 
-  /// One Stockham level: radix 4 while the remaining length divides 4,
-  /// then a final radix-2 level for odd log2(n). Radix-4 halves the number
-  /// of passes over the cached tile relative to pure radix-2.
+  /// One Stockham DIF level of radix r in {16, 8, 4, 2}: the greedy
+  /// high-radix schedule (16 while it divides, then one 8/4/2 level)
+  /// minimises passes over the cached tile — n = 128 takes two levels
+  /// where the old radix-4/2 schedule took four. Twiddles are laid out
+  /// per output packet p: tw[(r-1)*p + (k-1)] = w_len^{p*k}, exactly the
+  /// `tw` row the batched codelet ABI consumes; packet p = 0 has unit
+  /// twiddles and is passed tw = nullptr.
   struct StockhamLevel {
-    idx_t radix;  // 4 or 2
-    cvec tw;      // radix-4: {w^p, w^2p, w^3p} triplets; radix-2: w^p
+    idx_t radix;
+    cvec tw;
   };
 
   idx_t n_;
   Direction dir_;
+  kernels::Isa isa_;                // dispatch request (Auto = decide late)
   std::vector<StockhamLevel> slevels_;  // Stockham schedule (pow2 sizes)
   cvec dit_tw_;                     // DIT twiddles w_n^j, j < n/2
   std::vector<idx_t> bitrev_;       // bit-reversal permutation

@@ -1,0 +1,64 @@
+#include "kernels/batch.h"
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace bwfft::kernels {
+
+namespace {
+
+/// The ISA whose table will actually serve a resolved request: a resolved
+/// ISA whose TU was compiled without its target flags (cross builds,
+/// -mno-avx2 CI legs) degrades to the next narrower compiled-in set, so
+/// the obs counters record what runs, not what was asked for.
+Isa effective_isa(Isa resolved) {
+  if (resolved == Isa::Avx512 && detail::avx512_table() != nullptr) {
+    return Isa::Avx512;
+  }
+  if (static_cast<int>(resolved) >= static_cast<int>(Isa::Avx2) &&
+      detail::avx2_table() != nullptr) {
+    return Isa::Avx2;
+  }
+  return Isa::Scalar;
+}
+
+}  // namespace
+
+const BatchTable& batch_table(Isa isa) {
+  BWFFT_ASSERT(isa != Isa::Auto);
+  switch (effective_isa(isa)) {
+    case Isa::Avx512: return *detail::avx512_table();
+    case Isa::Avx2: return *detail::avx2_table();
+    default: return detail::scalar_table();
+  }
+}
+
+const BatchTable& dispatch_batch_table(Isa isa) {
+  const Isa eff = effective_isa(resolve_isa(isa));
+  switch (eff) {
+    case Isa::Avx512:
+      obs::counter_add(obs::Counter::BatchAvx512, 1);
+      return *detail::avx512_table();
+    case Isa::Avx2:
+      obs::counter_add(obs::Counter::BatchAvx2, 1);
+      return *detail::avx2_table();
+    default:
+      obs::counter_add(obs::Counter::BatchScalar, 1);
+      return detail::scalar_table();
+  }
+}
+
+BatchFn batch_lookup(idx_t n, Isa isa) {
+  if (n < 2 || n > codelets::kMaxCodelet) return nullptr;
+  return dispatch_batch_table(isa).fn[n];
+}
+
+idx_t nt_copy(cplx* dst, const cplx* src, idx_t count, Isa isa) {
+  switch (effective_isa(resolve_isa(isa))) {
+    case Isa::Avx512: return detail::nt_copy_avx512(dst, src, count);
+    case Isa::Avx2: return detail::nt_copy_avx2(dst, src, count);
+    default: return detail::nt_copy_sse2(dst, src, count);
+  }
+}
+
+}  // namespace bwfft::kernels

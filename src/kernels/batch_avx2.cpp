@@ -1,0 +1,63 @@
+// AVX2+FMA batched-codelet table: 256-bit registers, 4 complex lanes per
+// split chunk (one vector of 4 reals + one of 4 imaginaries).
+//
+// Compiled with -mavx2 -mfma via per-file flags (see CMakeLists.txt), so
+// the intrinsics below exist even in portable builds; whether this table
+// is *used* is decided at run time by kernels/isa.h. When the toolchain
+// cannot target AVX2 the providers degrade to nullptr / -1 and dispatch
+// falls back to scalar.
+
+#include "kernels/batch_gen.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace bwfft::kernels::detail {
+
+// The Avx2Backend itself lives in batch_gen.h (shared with the AVX-512
+// TU, where it is the first tail step of the width cascade). Lane counts
+// below 4 cascade through gen::Sse2Backend before reaching scalar.
+const BatchTable* avx2_table() {
+  static const BatchTable t = gen::make_table<gen::Avx2Backend>();
+  return &t;
+}
+
+idx_t nt_copy_avx2(cplx* dst, const cplx* src, idx_t count) {
+  auto* d = reinterpret_cast<double*>(dst);
+  const auto* s = reinterpret_cast<const double*>(src);
+  if ((reinterpret_cast<std::uintptr_t>(d) & 15u) != 0) return -1;
+  idx_t bytes = 0;
+  idx_t i = 0;
+  // One 16-byte head stream to reach 32-byte alignment.
+  if ((reinterpret_cast<std::uintptr_t>(d) & 31u) != 0 && i < count) {
+    _mm_stream_pd(d, _mm_loadu_pd(s));
+    ++i;
+    bytes += 16;
+  }
+  for (; i + 2 <= count; i += 2) {
+    _mm256_stream_pd(d + 2 * i, _mm256_loadu_pd(s + 2 * i));
+    bytes += 32;
+  }
+  if (i < count) {  // odd trailing element, 32-byte aligned here
+    _mm_stream_pd(d + 2 * i, _mm_loadu_pd(s + 2 * i));
+    ++i;
+    bytes += 16;
+  }
+  return bytes / 32;
+}
+
+}  // namespace bwfft::kernels::detail
+
+#else  // toolchain cannot target AVX2+FMA
+
+namespace bwfft::kernels::detail {
+
+const BatchTable* avx2_table() { return nullptr; }
+
+idx_t nt_copy_avx2(cplx*, const cplx*, idx_t) { return -1; }
+
+}  // namespace bwfft::kernels::detail
+
+#endif

@@ -1,0 +1,109 @@
+// AVX-512F batched-codelet table: 512-bit registers, 8 complex lanes per
+// split chunk. Deinterleave/interleave are single permutex2var shuffles
+// per vector; everything between them is shuffle-free FMA arithmetic.
+//
+// Compiled with -mavx512f -mfma via per-file flags (-mavx512f implies
+// AVX2 but NOT FMA in GCC, and the 256/128-bit cascade tails below want
+// contracted multiplies); used only when cpuid reports AVX-512F at run
+// time (kernels/isa.h).
+
+#include "kernels/batch_gen.h"
+
+#if defined(__AVX512F__) && defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace bwfft::kernels::detail {
+
+namespace {
+
+struct Avx512Backend {
+  static constexpr idx_t kWidth = 8;
+  // Remainders under 8 lanes step down 512 -> 256 -> 128 -> scalar. The
+  // engines' default packet width is mu = 4, so without this the chunk
+  // loop above would never run and "AVX-512 dispatch" would mean an
+  // all-scalar inner kernel.
+  using Tail = gen::Avx2Backend;
+  using V = __m512d;
+  static V broadcast(double x) { return _mm512_set1_pd(x); }
+  static V add(V a, V b) { return _mm512_add_pd(a, b); }
+  static V sub(V a, V b) { return _mm512_sub_pd(a, b); }
+  static V mul(V a, V b) { return _mm512_mul_pd(a, b); }
+  static V fmadd(V a, V b, V c) { return _mm512_fmadd_pd(a, b, c); }
+  static V fmsub(V a, V b, V c) { return _mm512_fmsub_pd(a, b, c); }
+  static V neg(V a) {
+    // IEEE negate (sign-bit flip), bit-identical to scalar -x. _mm512_xor_pd
+    // needs AVX512DQ, so go through the integer domain (plain AVX512F).
+    const __m512i sign = _mm512_set1_epi64(0x8000000000000000LL);
+    return _mm512_castsi512_pd(
+        _mm512_xor_epi64(_mm512_castpd_si512(a), sign));
+  }
+  static void loadc(const cplx* p, V& re, V& im) {
+    const auto* q = reinterpret_cast<const double*>(p);
+    const __m512d a = _mm512_loadu_pd(q);      // r0 i0 .. r3 i3
+    const __m512d b = _mm512_loadu_pd(q + 8);  // r4 i4 .. r7 i7
+    const __m512i idx_re = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+    const __m512i idx_im = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+    re = _mm512_permutex2var_pd(a, idx_re, b);
+    im = _mm512_permutex2var_pd(a, idx_im, b);
+  }
+  static void storec(cplx* p, V re, V im) {
+    auto* q = reinterpret_cast<double*>(p);
+    const __m512i idx_lo = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+    const __m512i idx_hi = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+    _mm512_storeu_pd(q, _mm512_permutex2var_pd(re, idx_lo, im));
+    _mm512_storeu_pd(q + 8, _mm512_permutex2var_pd(re, idx_hi, im));
+  }
+};
+
+}  // namespace
+
+const BatchTable* avx512_table() {
+  static const BatchTable t = gen::make_table<Avx512Backend>();
+  return &t;
+}
+
+idx_t nt_copy_avx512(cplx* dst, const cplx* src, idx_t count) {
+  auto* d = reinterpret_cast<double*>(dst);
+  const auto* s = reinterpret_cast<const double*>(src);
+  if ((reinterpret_cast<std::uintptr_t>(d) & 15u) != 0) return -1;
+  idx_t bytes = 0;
+  idx_t i = 0;
+  // 16-byte head streams up to the first 64-byte boundary.
+  while (i < count &&
+         (reinterpret_cast<std::uintptr_t>(d + 2 * i) & 63u) != 0) {
+    _mm_stream_pd(d + 2 * i, _mm_loadu_pd(s + 2 * i));
+    ++i;
+    bytes += 16;
+  }
+  for (; i + 4 <= count; i += 4) {
+    _mm512_stream_pd(d + 2 * i, _mm512_loadu_pd(s + 2 * i));
+    bytes += 64;
+  }
+  if (i + 2 <= count) {  // 32-byte tail (64-byte aligned here)
+    _mm256_stream_pd(d + 2 * i, _mm256_loadu_pd(s + 2 * i));
+    i += 2;
+    bytes += 32;
+  }
+  if (i < count) {  // odd trailing element
+    _mm_stream_pd(d + 2 * i, _mm_loadu_pd(s + 2 * i));
+    ++i;
+    bytes += 16;
+  }
+  return bytes / 32;
+}
+
+}  // namespace bwfft::kernels::detail
+
+#else  // toolchain cannot target AVX-512F
+
+namespace bwfft::kernels::detail {
+
+const BatchTable* avx512_table() { return nullptr; }
+
+idx_t nt_copy_avx512(cplx*, const cplx*, idx_t) { return -1; }
+
+}  // namespace bwfft::kernels::detail
+
+#endif

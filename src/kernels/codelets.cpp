@@ -1,7 +1,10 @@
 #include "kernels/codelets.h"
 
+#include <array>
 #include <cmath>
 #include <numbers>
+
+#include "common/error.h"
 
 namespace bwfft::codelets {
 
@@ -17,6 +20,27 @@ inline cplx rot90(cplx v, Direction dir) {
 }
 
 }  // namespace
+
+const TrigTable& dft_trig(idx_t n) {
+  BWFFT_ASSERT(n >= 2 && n <= kMaxCodelet);
+  // The angle is evaluated as ((2.0 * pi) * j) / n — the same expression
+  // shapes the unrolled codelets historically used (2*pi/5, 4*pi/5,
+  // 2*pi*(j+1)/7, 2*pi*k/16), so hoisting the constants into this table
+  // is bit-exact against the per-call computation it replaced.
+  static const std::array<TrigTable, kMaxCodelet + 1> tables = [] {
+    std::array<TrigTable, kMaxCodelet + 1> t{};
+    for (idx_t n_ = 2; n_ <= kMaxCodelet; ++n_) {
+      for (idx_t j = 0; j < n_; ++j) {
+        const double ang = 2.0 * kPi * static_cast<double>(j) /
+                           static_cast<double>(n_);
+        t[n_].c[j] = std::cos(ang);
+        t[n_].s[j] = std::sin(ang);
+      }
+    }
+    return t;
+  }();
+  return tables[n];
+}
 
 void dft2(const cplx* in, idx_t is, cplx* out, idx_t os, Direction) {
   const cplx a = in[0], b = in[is];
@@ -50,9 +74,10 @@ void dft4(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir) {
 
 void dft5(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir) {
   // 5-point DFT via the standard symmetric/antisymmetric split.
+  const TrigTable& tt = dft_trig(5);
   const double s = sign_of(dir);
-  const double c1 = std::cos(2.0 * kPi / 5.0), s1 = s * std::sin(2.0 * kPi / 5.0);
-  const double c2 = std::cos(4.0 * kPi / 5.0), s2 = s * std::sin(4.0 * kPi / 5.0);
+  const double c1 = tt.c[1], s1 = s * tt.s[1];
+  const double c2 = tt.c[2], s2 = s * tt.s[2];
   const cplx a = in[0];
   const cplx b = in[is], e = in[4 * is];
   const cplx c = in[2 * is], d = in[3 * is];
@@ -91,7 +116,7 @@ void dft6(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir) {
     u[i2][0] = res[0];
     u[i2][1] = res[1];
   }
-  // CRT output map: out[(3*k1 + 2*k2) mod 6] = u[k2][k1] (wait: k1 over 2).
+  // CRT output map: out[(3*k1 + 2*k2) mod 6] = u[k2][k1].
   for (idx_t k1 = 0; k1 < 2; ++k1) {
     for (idx_t k2 = 0; k2 < 3; ++k2) {
       out[((3 * k1 + 2 * k2) % 6) * os] = u[k2][k1];
@@ -102,12 +127,10 @@ void dft6(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir) {
 void dft7(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir) {
   // Direct symmetric evaluation; 7 is prime and rarely hot, so clarity
   // over cleverness.
+  const TrigTable& tt = dft_trig(7);
   const double s = sign_of(dir);
-  double cs[3], sn[3];
-  for (int j = 0; j < 3; ++j) {
-    cs[j] = std::cos(2.0 * kPi * (j + 1) / 7.0);
-    sn[j] = s * std::sin(2.0 * kPi * (j + 1) / 7.0);
-  }
+  const double cs[3] = {tt.c[1], tt.c[2], tt.c[3]};
+  const double sn[3] = {s * tt.s[1], s * tt.s[2], s * tt.s[3]};
   const cplx a = in[0];
   cplx p[3], m[3];
   for (int j = 0; j < 3; ++j) {
@@ -167,15 +190,37 @@ void dft16(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir) {
   }
   dft8(even, 1, fe, 1, dir);
   dft8(odd, 1, fo, 1, dir);
+  const TrigTable& tt = dft_trig(16);
   const double sg = sign_of(dir);
   for (idx_t k = 0; k < 8; ++k) {
-    const double ang = sg * 2.0 * kPi * static_cast<double>(k) / 16.0;
-    const cplx w(std::cos(ang), std::sin(ang));
+    const cplx w(tt.c[k], sg * tt.s[k]);  // w_16^{+/-k}
     const cplx t = fo[k] * w;
     out[k * os] = fe[k] + t;
     out[(k + 8) * os] = fe[k] - t;
   }
 }
+
+namespace {
+
+/// Table-driven direct DFT for the sizes without an unrolled body
+/// (9..15). O(n^2), but these sizes only appear as mixed-radix leftovers,
+/// never in the hot power-of-two schedules.
+template <idx_t N>
+void dft_direct(const cplx* in, idx_t is, cplx* out, idx_t os,
+                Direction dir) {
+  const TrigTable& tt = dft_trig(N);
+  const double sg = sign_of(dir);
+  for (idx_t k = 0; k < N; ++k) {
+    cplx acc = in[0];
+    for (idx_t j = 1; j < N; ++j) {
+      const idx_t m = (j * k) % N;
+      acc += in[j * is] * cplx(tt.c[m], sg * tt.s[m]);
+    }
+    out[k * os] = acc;
+  }
+}
+
+}  // namespace
 
 CodeletFn lookup(idx_t n) {
   switch (n) {
@@ -186,6 +231,13 @@ CodeletFn lookup(idx_t n) {
     case 6: return dft6;
     case 7: return dft7;
     case 8: return dft8;
+    case 9: return dft_direct<9>;
+    case 10: return dft_direct<10>;
+    case 11: return dft_direct<11>;
+    case 12: return dft_direct<12>;
+    case 13: return dft_direct<13>;
+    case 14: return dft_direct<14>;
+    case 15: return dft_direct<15>;
     case 16: return dft16;
     default: return nullptr;
   }

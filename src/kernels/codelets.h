@@ -1,9 +1,11 @@
 // Hand-written small-DFT codelets.
 //
-// Fully unrolled DFTs for sizes 2..8 and 16, parameterised by input and
-// output stride so they can serve as base cases of the mixed-radix engine
-// and as strided pencil kernels. Each codelet is an exact implementation of
-// spl::Dft(n) and is tested against it entry-for-entry.
+// Fully unrolled DFTs for sizes 2..8 and 16 plus a table-driven direct
+// path for the remaining sizes up to 16, parameterised by input and
+// output stride so they can serve as base cases of the mixed-radix
+// engine and as strided pencil kernels. Each codelet is an exact
+// implementation of spl::Dft(n) and is tested against it
+// entry-for-entry.
 #pragma once
 
 #include "common/types.h"
@@ -24,10 +26,26 @@ void dft7(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
 void dft8(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
 void dft16(const cplx* in, idx_t is, cplx* out, idx_t os, Direction dir);
 
-/// Codelet lookup; returns nullptr if no codelet exists for n.
-CodeletFn lookup(idx_t n);
-
 /// Largest size for which a codelet exists.
 inline constexpr idx_t kMaxCodelet = 16;
+
+/// Codelet lookup. Never returns nullptr for 2 <= n <= kMaxCodelet:
+/// sizes without an unrolled body (9..15) get a table-driven direct DFT.
+/// Sizes outside that range return nullptr.
+CodeletFn lookup(idx_t n);
+
+/// Forward-convention roots of unity of order n: c[j] = cos(2*pi*j/n),
+/// s[j] = sin(2*pi*j/n) for j < n, computed once per process. The forward
+/// root is w_n^j = (c[j], -s[j]); the inverse root is its conjugate.
+struct TrigTable {
+  double c[kMaxCodelet];
+  double s[kMaxCodelet];
+};
+
+/// Shared trig constants for order n (2 <= n <= kMaxCodelet). The tables
+/// are built on first use and reused by the scalar codelets, the direct
+/// fallback, and the batched SIMD bodies (kernels/batch_gen.h), so every
+/// variant of a given size agrees on its constants bit-for-bit.
+const TrigTable& dft_trig(idx_t n);
 
 }  // namespace bwfft::codelets

@@ -2,10 +2,14 @@
 
 #include <cstring>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 #if defined(__AVX__)
 #include <immintrin.h>
 #endif
 
+#include "kernels/batch.h"
 #include "obs/obs.h"
 
 namespace bwfft {
@@ -19,21 +23,17 @@ inline bool aligned32(const void* p) {
 }  // namespace
 
 void copy_stream(cplx* dst, const cplx* src, idx_t count, bool nontemporal) {
-#if defined(__AVX__)
-  if (nontemporal && aligned32(dst)) {
-    double* d = reinterpret_cast<double*>(dst);
-    const double* s = reinterpret_cast<const double*>(src);
-    idx_t doubles = 2 * count;
-    idx_t j = 0;
-    for (; j + 4 <= doubles; j += 4) {
-      _mm256_stream_pd(d + j, _mm256_loadu_pd(s + j));
+  if (nontemporal && count > 0) {
+    // Runtime-dispatched streaming copy: 64-byte AVX-512 streams when the
+    // host has them, 32-byte AVX streams otherwise, 16-byte SSE2 streams
+    // for heads/tails — so odd packet sizes and 16-byte-aligned
+    // destinations stay non-temporal instead of falling back to memcpy.
+    const idx_t nt = kernels::nt_copy(dst, src, count);
+    if (nt >= 0) {
+      if (nt > 0) BWFFT_OBS_COUNT(NtStores, nt);
+      return;
     }
-    BWFFT_OBS_COUNT(NtStores, j / 4);
-    for (; j < doubles; ++j) d[j] = s[j];
-    return;
   }
-#endif
-  (void)nontemporal;
   std::memcpy(dst, src, static_cast<std::size_t>(count) * sizeof(cplx));
 }
 
@@ -42,7 +42,7 @@ void store_packet(cplx* dst, const cplx* src, idx_t mu, bool nontemporal) {
 }
 
 void stream_fence() {
-#if defined(__AVX__)
+#if defined(__SSE2__)
   _mm_sfence();
 #endif
 }

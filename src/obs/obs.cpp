@@ -158,6 +158,9 @@ const char* counter_name(Counter c) {
     case Counter::ExecComplete: return "exec_complete";
     case Counter::ExecBatch: return "exec_batch";
     case Counter::ExecQueueNs: return "exec_queue_ns";
+    case Counter::BatchScalar: return "batch_scalar";
+    case Counter::BatchAvx2: return "batch_avx2";
+    case Counter::BatchAvx512: return "batch_avx512";
   }
   return "?";
 }

@@ -42,7 +42,7 @@ namespace bwfft::obs {
 enum class Counter : int {
   BytesLoaded = 0,  ///< bytes streamed from source arrays (pipeline loads)
   BytesStored,      ///< bytes scattered to destination arrays (stores)
-  NtStores,         ///< 32-byte non-temporal store instructions issued
+  NtStores,         ///< non-temporal stores, in 32-byte equivalents
   BarrierWaitNs,    ///< nanoseconds spent waiting at team barriers
   LoadBusyNs,       ///< data-thread busy time in load tasks
   ComputeBusyNs,    ///< compute-thread busy time in FFT kernels
@@ -63,8 +63,11 @@ enum class Counter : int {
   ExecComplete,     ///< requests whose ExecReport was fulfilled
   ExecBatch,        ///< coalesced same-shape batches dispatched
   ExecQueueNs,      ///< total enqueue-to-start wait across requests
+  BatchScalar,      ///< batched-codelet dispatches resolved to scalar
+  BatchAvx2,        ///< batched-codelet dispatches resolved to AVX2+FMA
+  BatchAvx512,      ///< batched-codelet dispatches resolved to AVX-512
 };
-inline constexpr int kCounterCount = 21;
+inline constexpr int kCounterCount = 24;
 
 /// Stable snake_case name (JSON keys in BENCH_*.json use these).
 const char* counter_name(Counter c);

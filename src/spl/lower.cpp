@@ -12,7 +12,8 @@ namespace {
 
 /// Recursive lowering context: the term being lowered sits inside
 /// I_batch (x) . (x) I_lanes.
-void lower_into(const Expr& e, idx_t batch, idx_t lanes, Program& prog) {
+void lower_into(const Expr& e, idx_t batch, idx_t lanes, kernels::Isa isa,
+                Program& prog) {
   if (dynamic_cast<const Identity*>(&e) != nullptr) {
     return;  // no-op factor
   }
@@ -20,17 +21,17 @@ void lower_into(const Expr& e, idx_t batch, idx_t lanes, Program& prog) {
     // Factors apply right-to-left.
     const auto& fs = c->factors();
     for (std::size_t i = fs.size(); i-- > 0;) {
-      lower_into(*fs[i], batch, lanes, prog);
+      lower_into(*fs[i], batch, lanes, isa, prog);
     }
     return;
   }
   if (const auto* k = dynamic_cast<const Kron*>(&e)) {
     if (const auto* ia = dynamic_cast<const Identity*>(k->a().get())) {
-      lower_into(*k->b(), batch * ia->rows(), lanes, prog);
+      lower_into(*k->b(), batch * ia->rows(), lanes, isa, prog);
       return;
     }
     if (const auto* ib = dynamic_cast<const Identity*>(k->b().get())) {
-      lower_into(*k->a(), batch, lanes * ib->rows(), prog);
+      lower_into(*k->a(), batch, lanes * ib->rows(), isa, prog);
       return;
     }
     throw Error("unlowerable Kron (neither side is an identity): " + e.str());
@@ -42,7 +43,7 @@ void lower_into(const Expr& e, idx_t batch, idx_t lanes, Program& prog) {
     op.n = d->rows();
     op.lanes = lanes;
     op.dir = d->direction();
-    op.plan = std::make_shared<Fft1d>(op.n, op.dir);
+    op.plan = std::make_shared<Fft1d>(op.n, op.dir, isa);
     prog.push(std::move(op));
     return;
   }
@@ -141,7 +142,7 @@ std::string Program::describe() const {
   return os.str();
 }
 
-Program lower(const Expr& e) {
+Program lower(const Expr& e, kernels::Isa isa) {
   BWFFT_CHECK(e.rows() == e.cols(),
               "only square (size-preserving) terms are lowerable");
 #ifdef BWFFT_CHECKED
@@ -150,7 +151,7 @@ Program lower(const Expr& e) {
   verify_or_throw(e);
 #endif
   Program prog(e.cols());
-  lower_into(e, 1, 1, prog);
+  lower_into(e, 1, 1, isa, prog);
 #ifdef BWFFT_CHECKED
   verify_or_throw(prog);
 #endif

@@ -59,7 +59,9 @@ class Program {
 };
 
 /// Compile an SPL term into a Program. Throws bwfft::Error if the term
-/// falls outside the lowerable grammar.
-Program lower(const Expr& e);
+/// falls outside the lowerable grammar. The BatchFft ops dispatch into
+/// the batched split-format codelets; `isa` pins their instruction set
+/// (default Auto = resolve from cpuid / BWFFT_ISA at run time).
+Program lower(const Expr& e, kernels::Isa isa = kernels::Isa::Auto);
 
 }  // namespace bwfft::spl

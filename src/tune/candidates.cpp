@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "fft/stage.h"
+#include "kernels/isa.h"
 
 namespace bwfft::tune {
 
@@ -29,6 +32,18 @@ constexpr double kOverlapEfficiency = 0.85;
 /// Per pipeline iteration fixed cost (barrier hand-off, task dispatch).
 constexpr double kIterationOverheadSeconds = 4e-6;
 
+/// Sustained per-core FFT arithmetic rate by instruction set, in GF/s —
+/// deliberately coarse (the model ranks, it does not predict): one FMA
+/// port's worth of scalar work, then the 4x / 8x lane widths discounted
+/// for the shuffle/tail overhead of real kernels.
+double isa_gflops_per_core(kernels::Isa isa) {
+  switch (kernels::resolve_isa(isa)) {
+    case kernels::Isa::Avx512: return 16.0;
+    case kernels::Isa::Avx2: return 8.0;
+    default: return 2.0;
+  }
+}
+
 }  // namespace
 
 TuneCandidate default_candidate() { return TuneCandidate{}; }
@@ -39,22 +54,23 @@ FftOptions apply_candidate(const TuneCandidate& c, FftOptions base) {
   base.block_elems = c.block_elems;
   base.packet_elems = c.packet_elems;
   base.nontemporal = c.nontemporal;
+  base.isa = c.isa;
   return base;
 }
 
 bool same_config(const TuneCandidate& a, const TuneCandidate& b) {
   return a.engine == b.engine && a.compute_threads == b.compute_threads &&
          a.block_elems == b.block_elems && a.packet_elems == b.packet_elems &&
-         a.nontemporal == b.nontemporal;
+         a.nontemporal == b.nontemporal && a.isa == b.isa;
 }
 
 std::string candidate_label(const TuneCandidate& c) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "%s c=%d b=%lld mu=%lld nt=%d",
+  char buf[112];
+  std::snprintf(buf, sizeof(buf), "%s c=%d b=%lld mu=%lld nt=%d isa=%s",
                 engine_name(c.engine), c.compute_threads,
                 static_cast<long long>(c.block_elems),
                 static_cast<long long>(c.packet_elems),
-                c.nontemporal ? 1 : 0);
+                c.nontemporal ? 1 : 0, kernels::isa_name(c.isa));
   return buf;
 }
 
@@ -104,6 +120,13 @@ std::vector<TuneCandidate> enumerate_candidates(const std::vector<idx_t>& dims,
     packets = {req.packet_elems};
   } else {
     packets = {0};
+    // Where the auto packet widens past the cacheline (AVX-512 dispatch,
+    // see auto_packet_cap), keep the one-cacheline §III-A packet as an
+    // explicit candidate so measurement can reject the wider packet on
+    // hosts where it loses (e.g. under heavy downclocking).
+    if (m % kMu == 0 && packet_size_for(m, auto_packet_cap()) != kMu) {
+      packets.push_back(kMu);
+    }
     // The element-wise (mu = 1) and half-cacheline variants of the
     // §III-A ablation, only where they divide the fast dimension.
     if (m % 2 == 0) packets.push_back(2);
@@ -112,6 +135,21 @@ std::vector<TuneCandidate> enumerate_candidates(const std::vector<idx_t>& dims,
 
   const bool nt_values[] = {true, false};
 
+  // ISA axis: a pinned request collapses to itself; otherwise Auto (the
+  // runtime-dispatched best) plus each strictly narrower SIMD set the
+  // host can execute — measurement can then catch machines where the
+  // widest vectors lose (AVX-512 downclocking). Scalar is never
+  // enumerated: on these bandwidth-bound engines it can only tie.
+  std::vector<kernels::Isa> isas;
+  if (req.isa != kernels::Isa::Auto) {
+    isas = {req.isa};
+  } else {
+    isas = {kernels::Isa::Auto};
+    if (kernels::detected_isa() == kernels::Isa::Avx512) {
+      isas.push_back(kernels::Isa::Avx2);
+    }
+  }
+
   std::vector<TuneCandidate> out;
   for (EngineKind e : engines) {
     const bool tunes_split = e == EngineKind::DoubleBuffer;
@@ -119,6 +157,8 @@ std::vector<TuneCandidate> enumerate_candidates(const std::vector<idx_t>& dims,
     const bool tunes_packet =
         e == EngineKind::DoubleBuffer || e == EngineKind::StageParallel;
     const bool tunes_nt =
+        e == EngineKind::DoubleBuffer || e == EngineKind::StageParallel;
+    const bool tunes_isa =
         e == EngineKind::DoubleBuffer || e == EngineKind::StageParallel;
     for (int c : splits) {
       if (!tunes_split && c != splits.front()) continue;
@@ -129,13 +169,17 @@ std::vector<TuneCandidate> enumerate_candidates(const std::vector<idx_t>& dims,
           if (mu > 0 && m % mu != 0) continue;
           for (bool nt : nt_values) {
             if (!tunes_nt && nt != nt_values[0]) continue;
-            TuneCandidate cand;
-            cand.engine = e;
-            cand.compute_threads = tunes_split ? c : -1;
-            cand.block_elems = tunes_block ? b : 0;
-            cand.packet_elems = tunes_packet ? mu : 0;
-            cand.nontemporal = tunes_nt ? nt : true;
-            out.push_back(cand);
+            for (kernels::Isa isa : isas) {
+              if (!tunes_isa && isa != isas.front()) continue;
+              TuneCandidate cand;
+              cand.engine = e;
+              cand.compute_threads = tunes_split ? c : -1;
+              cand.block_elems = tunes_block ? b : 0;
+              cand.packet_elems = tunes_packet ? mu : 0;
+              cand.nontemporal = tunes_nt ? nt : true;
+              cand.isa = tunes_isa ? isa : kernels::Isa::Auto;
+              out.push_back(cand);
+            }
           }
         }
       }
@@ -186,9 +230,12 @@ double estimate_seconds(const TuneCandidate& c, const std::vector<idx_t>& dims,
       return slab + z;
     }
     case EngineKind::DoubleBuffer: {
-      // One round trip per stage (the paper's contribution) at STREAM
-      // scaled by the overlap efficiency of the compute/data split, plus
-      // a fixed pipeline cost per block iteration.
+      // Per stage the pipeline overlaps data movement with compute, so a
+      // stage costs max(io, compute) at STREAM scaled by the overlap
+      // efficiency of the compute/data split, plus a fixed pipeline cost
+      // per block iteration. The compute term is what makes the model
+      // dispatch-aware: 5 n log2(d) flops per stage against the per-core
+      // rate of the candidate's resolved ISA.
       const int p = threads > 0 ? threads : topo.total_threads();
       const int pc = c.compute_threads >= 0
                          ? std::clamp(c.compute_threads, 1, std::max(1, p - 1))
@@ -203,9 +250,18 @@ double estimate_seconds(const TuneCandidate& c, const std::vector<idx_t>& dims,
                               : std::max<idx_t>(1, topo.shared_buffer_elems() / 2);
       const double iters =
           std::max(1.0, n / static_cast<double>(block));
-      const double stage = (bytes / bw + write / (bw * mu_eff)) / eff +
-                           iters * kIterationOverheadSeconds;
-      return rank * stage;
+      const double compute_rate =
+          static_cast<double>(pc) * isa_gflops_per_core(c.isa) * 1e9;
+      double total = 0.0;
+      for (idx_t d : dims) {
+        const double io = bytes / bw + write / (bw * mu_eff);
+        const double flops =
+            5.0 * n * std::log2(std::max(2.0, static_cast<double>(d)));
+        const double compute = flops / compute_rate;
+        total += std::max(io, compute) / eff +
+                 iters * kIterationOverheadSeconds;
+      }
+      return total;
     }
     case EngineKind::Reference:
       // O(n^2) per dimension: model the arithmetic, not the bandwidth.

@@ -29,6 +29,7 @@ struct TuneCandidate {
   idx_t block_elems = 0;     ///< 0 = LLC/2 policy
   idx_t packet_elems = 0;    ///< 0 = auto (cacheline packet)
   bool nontemporal = true;
+  kernels::Isa isa = kernels::Isa::Auto;  ///< codelet ISA request
 
   double est_seconds = 0.0;       ///< cost-model estimate
   double measured_seconds = -1.0;  ///< wall time; < 0 = not measured
@@ -45,7 +46,8 @@ FftOptions apply_candidate(const TuneCandidate& c, FftOptions base);
 /// ignored).
 bool same_config(const TuneCandidate& a, const TuneCandidate& b);
 
-/// Human-readable one-liner, e.g. "double-buffer c=-1 b=0 mu=0 nt=1".
+/// Human-readable one-liner, e.g. "double-buffer c=-1 b=0 mu=0 nt=1
+/// isa=auto".
 std::string candidate_label(const TuneCandidate& c);
 
 /// Enumerate the candidate grid for a transform shape: engine kind x

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "fft/engine.h"
+#include "kernels/isa.h"
 #include "obs/obs.h"
 #include "stream/stream.h"
 #include "tune/wisdom.h"
@@ -149,7 +150,12 @@ FftOptions resolve_auto(const std::vector<idx_t>& dims, Direction dir,
                         const FftOptions& req, TuneReport* report) {
   BWFFT_CHECK(dims.size() == 2 || dims.size() == 3,
               "only 2D and 3D transforms are supported");
-  const std::string fingerprint = topology_fingerprint(req.topo);
+  // Wisdom keys compose the topology fingerprint with the ACTIVE ISA so
+  // a config measured with AVX-512 kernels is never replayed onto a run
+  // forced down to scalar (BWFFT_ISA / force_scalar) or vice versa.
+  const std::string fingerprint =
+      topology_fingerprint(req.topo) + "-" +
+      kernels::isa_name(kernels::resolve_isa(req.isa));
 
   WisdomEntry remembered;
   if (global_wisdom_lookup(dims, dir, fingerprint, &remembered) &&

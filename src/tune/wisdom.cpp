@@ -78,6 +78,13 @@ bool entry_from_json(const Json& j, WisdomEntry* out) {
   const Json* nt = j.find("nontemporal");
   if (!nt || !nt->is_bool()) return false;
   e.config.nontemporal = nt->as_bool();
+  // Optional (absent in pre-ISA wisdom files): missing means Auto.
+  if (const Json* isa = j.find("isa")) {
+    if (!isa->is_string() ||
+        !kernels::isa_from_name(isa->as_string(), &e.config.isa)) {
+      return false;
+    }
+  }
   const Json* seconds = j.find("seconds");
   if (!seconds || !seconds->is_number() || seconds->as_double() < 0.0) {
     return false;
@@ -147,6 +154,7 @@ Json Wisdom::to_json() const {
     j.set("block_elems", static_cast<std::int64_t>(e.config.block_elems));
     j.set("packet_elems", static_cast<std::int64_t>(e.config.packet_elems));
     j.set("nontemporal", e.config.nontemporal);
+    j.set("isa", kernels::isa_name(e.config.isa));
     j.set("seconds", e.seconds);
     j.set("level", tune_level_name(e.level));
     entries.push_back(std::move(j));

@@ -13,8 +13,13 @@
 //                 "fingerprint": "s1c8t1llc33554432",
 //                 "engine": "double-buffer", "compute_threads": -1,
 //                 "block_elems": 0, "packet_elems": 0,
-//                 "nontemporal": true, "seconds": 1.2e-3,
+//                 "nontemporal": true, "isa": "auto", "seconds": 1.2e-3,
 //                 "level": "measure"}]}
+//
+// "isa" is optional (pre-ISA files omit it; missing parses as "auto").
+// The tuner additionally suffixes the fingerprint with the active ISA
+// ("...-avx512"), so entries measured under one dispatch state are not
+// replayed under another.
 //
 // Loading tolerates damage: a malformed document fails the load without
 // touching the in-memory store; malformed *entries* inside a valid

@@ -11,6 +11,7 @@
 #include "fft/double_buffer.h"
 #include "fft/fft.h"
 #include "fft/reference.h"
+#include "fft/stage.h"
 #include "kernels/vecops.h"
 #include "test_util.h"
 
@@ -212,8 +213,11 @@ TEST(EngineStats, StageStatsPopulated) {
     EXPECT_GE(s.block_rows, 1);
     covered += s.iterations * s.block_rows;
   }
-  // Each stage covers all of its rows; total rows over 3 stages.
-  EXPECT_EQ(k * n + (m / 4) * k + n * (m / 4), covered);
+  // Each stage covers all of its rows; total rows over 3 stages. The
+  // auto packet width depends on the dispatched ISA, so derive it the
+  // same way the engine does.
+  const idx_t mu = resolve_packet_size(o.packet_elems, m);
+  EXPECT_EQ(k * n + (m / mu) * k + n * (m / mu), covered);
 }
 
 // Seeded random shape/engine sweep — a lightweight fuzz of the planner.

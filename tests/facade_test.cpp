@@ -9,6 +9,7 @@
 #include "fft/fft.h"
 #include "fft/reference.h"
 #include "fft/stage.h"
+#include "kernels/isa.h"
 #include "test_util.h"
 
 namespace bwfft {
@@ -172,7 +173,11 @@ TEST(Facade, StageGeometryHelpers) {
   EXPECT_EQ(4, packet_size_for(4));
   EXPECT_EQ(2, packet_size_for(6));
   EXPECT_EQ(1, packet_size_for(7));
-  EXPECT_EQ(4, resolve_packet_size(0, 64));
+  // The auto packet widens to two cachelines only under AVX-512 dispatch
+  // (its batch table runs 8 complex lanes per chunk).
+  const bool avx512 = kernels::active_isa() == kernels::Isa::Avx512;
+  EXPECT_EQ(avx512 ? 8 : 4, resolve_packet_size(0, 64));
+  EXPECT_EQ(4, resolve_packet_size(0, 4));  // capped by the fast dim
   EXPECT_EQ(2, resolve_packet_size(2, 64));
   EXPECT_THROW(resolve_packet_size(3, 64), Error);
 

@@ -2,6 +2,9 @@
 // DFT, and the SIMD butterfly micro-op against its scalar semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numbers>
+
 #include "common/rng.h"
 #include "kernels/codelets.h"
 #include "kernels/twiddle.h"
@@ -13,6 +16,8 @@ namespace bwfft {
 namespace {
 
 using test::max_err;
+
+constexpr double kPi = std::numbers::pi_v<double>;
 
 TEST(Twiddle, RootsOfUnity) {
   // w_4^1 forward = -i; inverse = +i.
@@ -93,9 +98,55 @@ TEST(Codelets, StridedInputAndOutput) {
   EXPECT_EQ(cplx(-9, -9), got[1]);
 }
 
-TEST(Codelets, LookupMissingSizes) {
-  EXPECT_EQ(nullptr, codelets::lookup(9));
+TEST(Codelets, LookupCoversEverySupportedSize) {
+  // 9..15 are served by the generic strided fallback; lookup() must never
+  // return null inside [2, kMaxCodelet].
+  for (idx_t n = 2; n <= codelets::kMaxCodelet; ++n) {
+    EXPECT_NE(nullptr, codelets::lookup(n)) << "n=" << n;
+  }
+  EXPECT_EQ(nullptr, codelets::lookup(1));
   EXPECT_EQ(nullptr, codelets::lookup(32));
+}
+
+TEST(Codelets, FallbackSizesMatchDenseDftBothDirections) {
+  for (idx_t n = 9; n <= 15; ++n) {
+    auto fn = codelets::lookup(n);
+    ASSERT_NE(nullptr, fn);
+    for (Direction dir : {Direction::Forward, Direction::Inverse}) {
+      auto x = random_cvec(n, 900 + n);
+      cvec got(x.size());
+      fn(x.data(), 1, got.data(), 1, dir);
+      auto want = (*spl::dft(n, dir))(x);
+      EXPECT_LT(max_err(want, got), 1e-12) << "n=" << n;
+    }
+  }
+}
+
+TEST(Codelets, TrigTablesAreBitExactWithPerCallExpressions) {
+  // Satellite regression: dft5/dft7/dft16 hoisted their cos/sin calls into
+  // dft_trig tables. The table builder must evaluate the *same* libm
+  // expression shapes the codelets used per call, or results drift by an
+  // ULP between builds. Recompute each angle exactly as the old code did
+  // and demand bitwise equality.
+  for (idx_t n : {idx_t{5}, idx_t{7}, idx_t{16}}) {
+    const auto& t = codelets::dft_trig(n);
+    for (idx_t j = 0; j < n; ++j) {
+      const double ang = 2.0 * kPi * static_cast<double>(j) /
+                         static_cast<double>(n);
+      EXPECT_EQ(std::cos(ang), t.c[static_cast<std::size_t>(j)])
+          << "cos n=" << n << " j=" << j;
+      EXPECT_EQ(std::sin(ang), t.s[static_cast<std::size_t>(j)])
+          << "sin n=" << n << " j=" << j;
+    }
+  }
+  // dft16 derives its inverse twiddles from the same table via
+  // cos(-x) == cos(x), sin(-x) == -sin(x); confirm libm honors that
+  // symmetry bitwise for the angles in play.
+  for (idx_t j = 0; j < 16; ++j) {
+    const double ang = 2.0 * kPi * static_cast<double>(j) / 16.0;
+    EXPECT_EQ(std::cos(-ang), std::cos(ang)) << "j=" << j;
+    EXPECT_EQ(std::sin(-ang), -std::sin(ang)) << "j=" << j;
+  }
 }
 
 TEST(VecOps, ButterflyPacketsMatchesScalar) {

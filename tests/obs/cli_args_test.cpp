@@ -171,5 +171,22 @@ TEST(ParseArgs, WisdomPathIsCaptured) {
   EXPECT_FALSE(parse_args({"--wisdom", ""}, &o, &err));
 }
 
+TEST(ParseArgs, IsaAndDispatchFlags) {
+  Options o;
+  std::string err;
+  ASSERT_TRUE(parse_args({}, &o, &err));
+  EXPECT_FALSE(o.dispatch);
+  EXPECT_TRUE(o.isa.empty());
+  for (const char* name : {"auto", "scalar", "avx2", "avx512", "avx512f"}) {
+    ASSERT_TRUE(parse_args({"--isa", name}, &o, &err)) << err;
+    EXPECT_EQ(name, o.isa);
+  }
+  ASSERT_TRUE(parse_args({"--dispatch"}, &o, &err)) << err;
+  EXPECT_TRUE(o.dispatch);
+  EXPECT_FALSE(parse_args({"--isa"}, &o, &err));
+  EXPECT_FALSE(parse_args({"--isa", "sse9"}, &o, &err));
+  EXPECT_NE(std::string::npos, err.find("--isa"));
+}
+
 }  // namespace
 }  // namespace bwfft::cli

@@ -1,12 +1,20 @@
 // bench_report — validate and pretty-print BENCH_*.json trajectory files.
 //
 //   bench_report FILE...
+//   bench_report --trajectory FILE...
 //
 // Each file is parsed, checked against the bwfft-bench-v1 schema
 // (benchutil/bench_schema) and summarised as a table; any malformed file
 // makes the exit status non-zero, so check.sh can use this as the schema
 // gate for the committed trajectory.
+//
+// --trajectory pivots the files the other way: one row per (engine,
+// dims) configuration, one column per label (file order), cells showing
+// pct-of-peak — the whole performance trajectory of the repo at a
+// glance, and the quickest way to confirm a PR moved the rows it claims.
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -17,7 +25,7 @@ using namespace bwfft;
 
 namespace {
 
-bool report_file(const char* path) {
+bool load_report(const char* path, BenchReport* out) {
   std::FILE* f = std::fopen(path, "rb");
   if (!f) {
     std::fprintf(stderr, "bench_report: cannot open %s\n", path);
@@ -43,7 +51,69 @@ bool report_file(const char* path) {
                  err.c_str());
     return false;
   }
-  const BenchReport rep = bench_report_from_json(doc);
+  *out = bench_report_from_json(doc);
+  return true;
+}
+
+std::string row_key(const BenchRow& row) {
+  std::string key = row.engine;
+  key += " ";
+  for (std::size_t i = 0; i < row.dims.size(); ++i) {
+    key += (i ? "x" : "") + std::to_string(row.dims[i]);
+  }
+  return key;
+}
+
+/// --trajectory: aggregate every file into one config-by-label
+/// pct-of-peak table. Configs missing from a label print "-".
+bool report_trajectory(const std::vector<const char*>& paths) {
+  std::vector<BenchReport> reports;
+  for (const char* path : paths) {
+    BenchReport rep;
+    if (!load_report(path, &rep)) return false;
+    reports.push_back(std::move(rep));
+  }
+  // Keep first-seen config order so the table reads like the bench grid.
+  std::vector<std::string> configs;
+  std::map<std::string, std::vector<double>> cells;  // key -> pct per label
+  for (std::size_t r = 0; r < reports.size(); ++r) {
+    for (const BenchRow& row : reports[r].rows) {
+      const std::string key = row_key(row);
+      auto it = cells.find(key);
+      if (it == cells.end()) {
+        configs.push_back(key);
+        it = cells.emplace(key, std::vector<double>(reports.size(), -1.0))
+                 .first;
+      }
+      it->second[r] = row.pct_of_peak;
+    }
+  }
+  std::printf("%-28s", "config");
+  for (const BenchReport& rep : reports) {
+    std::printf(" %9s", rep.label.c_str());
+  }
+  std::printf("\n");
+  for (const std::string& key : configs) {
+    std::printf("%-28s", key.c_str());
+    for (double pct : cells[key]) {
+      if (pct < 0.0) {
+        std::printf(" %9s", "-");
+      } else {
+        std::printf(" %8.1f%%", pct);
+      }
+    }
+    std::printf("\n");
+  }
+  for (const BenchReport& rep : reports) {
+    std::printf("stream: %s = %.1f GB/s\n", rep.label.c_str(),
+                rep.stream_gbs);
+  }
+  return true;
+}
+
+bool report_file(const char* path) {
+  BenchReport rep;
+  if (!load_report(path, &rep)) return false;
 
   std::printf("%s: label=%s stream=%.1f GB/s, %zu rows\n", path,
               rep.label.c_str(), rep.stream_gbs, rep.rows.size());
@@ -75,8 +145,16 @@ bool report_file(const char* path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--trajectory] FILE...\n", argv[0]);
     return 2;
+  }
+  if (std::string(argv[1]) == "--trajectory") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --trajectory FILE...\n", argv[0]);
+      return 2;
+    }
+    std::vector<const char*> paths(argv + 2, argv + argc);
+    return report_trajectory(paths) ? 0 : 1;
   }
   bool all_ok = true;
   for (int i = 1; i < argc; ++i) {

@@ -38,6 +38,7 @@
 #include "fft/double_buffer.h"
 #include "fft/fft.h"
 #include "fft/reference.h"
+#include "kernels/isa.h"
 #include "obs/obs.h"
 #include "stream/stream.h"
 #include "tune/wisdom.h"
@@ -52,6 +53,7 @@ namespace {
                "dbuf|stagepar|slab|pencil|reference|auto] [--threads P] "
                "[--compute PC] [--block ELEMS] [--mu MU] [--reps R] "
                "[--inverse] [--verify] [--no-nt] [--stats] [--verbose] "
+               "[--isa auto|scalar|avx2|avx512] [--dispatch] "
                "[--trace out.json] [--tune estimate|measure|exhaustive] "
                "[--wisdom file.json] [--serve] [--requests N] "
                "[--producers P] [--queue CAP]\n",
@@ -146,6 +148,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", err.c_str());
     usage(argv[0]);
   }
+  if (!a.isa.empty()) {
+    kernels::Isa isa = kernels::Isa::Auto;
+    kernels::isa_from_name(a.isa, &isa);  // a.isa was validated by parse_args
+    kernels::set_isa_override(isa);
+  }
+  if (a.dispatch) {
+    // Print where the same binary lands on this host (cpuid, BWFFT_ISA,
+    // overrides) and exit — the CI dispatch-report check drives this.
+    std::fputs(kernels::dispatch_report().c_str(), stdout);
+    return 0;
+  }
   const EngineKind kind = engine_kind(a.engine);
   idx_t total = 1;
   for (idx_t d : a.dims) total *= d;
@@ -157,6 +170,7 @@ int main(int argc, char** argv) {
   opts.block_elems = a.block;
   opts.packet_elems = a.mu;
   opts.nontemporal = a.nontemporal;
+  if (!a.isa.empty()) kernels::isa_from_name(a.isa, &opts.isa);
   if (!a.tune.empty()) tune_level_from_name(a.tune, &opts.tune_level);
   const Direction dir = a.inverse ? Direction::Inverse : Direction::Forward;
 
