@@ -247,6 +247,15 @@ int main(int argc, char** argv) {
       st.max_batch_occupancy, st.peak_queue_depth,
       static_cast<unsigned long long>(executor.cache().stats().hits),
       static_cast<unsigned long long>(executor.cache().stats().misses));
+  std::printf(
+      "service: shed=%llu quota=%llu retried=%llu quarantined=%llu "
+      "integrity=%llu/%llu\n",
+      static_cast<unsigned long long>(st.shed),
+      static_cast<unsigned long long>(st.quota_rejected),
+      static_cast<unsigned long long>(st.retried),
+      static_cast<unsigned long long>(st.quarantined),
+      static_cast<unsigned long long>(st.integrity_failed),
+      static_cast<unsigned long long>(st.integrity_checked));
 #if defined(BWFFT_OBS)
   const auto snap = obs::counters();
   std::printf("teams: spawned=%llu reused=%llu\n",

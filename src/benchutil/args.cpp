@@ -29,6 +29,32 @@ bool parse_int(const std::string& token, long long min_value, long long* out,
   return true;
 }
 
+bool parse_double(const std::string& token, double min_value,
+                  double max_value, double* out, std::string* err) {
+  if (token.empty()) {
+    if (err) *err = "empty numeric value";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || errno == ERANGE ||
+      !(v == v) /* NaN */ || v > 1e300 || v < -1e300) {
+    if (err) *err = "'" + token + "' is not a valid number";
+    return false;
+  }
+  if (v < min_value || v > max_value) {
+    if (err) {
+      *err = "'" + token + "' is out of range [" +
+             std::to_string(min_value) + ", " + std::to_string(max_value) +
+             "]";
+    }
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 bool parse_dims(const std::string& token, std::vector<idx_t>* out,
                 std::string* err) {
   std::vector<idx_t> dims;
@@ -89,6 +115,16 @@ bool parse_args(const std::vector<std::string>& args, Options* out,
       std::string token;
       if (!next(&token)) return false;
       if (!parse_int(token, min_value, value, err)) {
+        if (err) *err = "bad " + arg + ": " + *err;
+        return false;
+      }
+      return true;
+    };
+    auto next_double = [&](double min_value, double max_value,
+                           double* value) {
+      std::string token;
+      if (!next(&token)) return false;
+      if (!parse_double(token, min_value, max_value, value, err)) {
         if (err) *err = "bad " + arg + ": " + *err;
         return false;
       }
@@ -182,6 +218,28 @@ bool parse_args(const std::vector<std::string>& args, Options* out,
       long long v = 0;
       if (!next_int(1, &v)) return false;
       o.queue_cap = static_cast<int>(v);
+    } else if (arg == "--deadline-ms") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.deadline_ms = static_cast<int>(v);
+    } else if (arg == "--quota-rate") {
+      if (!next_double(0.0, 1e9, &o.quota_rate)) return false;
+    } else if (arg == "--quota-burst") {
+      if (!next_double(1.0, 1e9, &o.quota_burst)) return false;
+    } else if (arg == "--integrity") {
+      if (!next_double(0.0, 1.0, &o.integrity)) return false;
+    } else if (arg == "--retries") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.retries = static_cast<int>(v);
+    } else if (arg == "--batch-every") {
+      long long v = 0;
+      if (!next_int(0, &v)) return false;
+      o.batch_every = static_cast<int>(v);
+    } else if (arg == "--tenants") {
+      long long v = 0;
+      if (!next_int(1, &v)) return false;
+      o.tenants = static_cast<int>(v);
     } else if (arg == "--wisdom") {
       std::string token;
       if (!next(&token)) return false;

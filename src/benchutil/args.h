@@ -40,6 +40,14 @@ struct Options {
   int requests = 64;       ///< --requests per --serve session
   int producers = 4;       ///< concurrent --serve submitter threads
   int queue_cap = 256;     ///< --queue submission-queue capacity
+  int deadline_ms = 0;     ///< --deadline-ms per-request deadline; 0 = none
+  double quota_rate = 0.0; ///< --quota-rate tokens/s per tenant; 0 = off
+  double quota_burst = 16.0;  ///< --quota-burst token-bucket capacity
+  double integrity = 0.0;  ///< --integrity sampled check fraction [0,1]
+  int retries = 1;         ///< --retries total attempts per request
+  int batch_every = 0;     ///< --batch-every: every Nth request rides the
+                           ///< batch lane (0 = all interactive)
+  int tenants = 1;         ///< --tenants distinct quota identities
 };
 
 /// Strict base-10 integer: the whole token must parse and the value must
@@ -47,6 +55,11 @@ struct Options {
 /// diagnostic in *err.
 bool parse_int(const std::string& token, long long min_value, long long* out,
                std::string* err);
+
+/// Strict decimal floating-point value in [min_value, max_value]; the
+/// whole token must parse (NaN/inf and trailing garbage are rejected).
+bool parse_double(const std::string& token, double min_value,
+                  double max_value, double* out, std::string* err);
 
 /// Strict "KxN" / "KxNxM" dims parser: 2 or 3 'x'-separated tokens, each
 /// a positive integer.

@@ -38,6 +38,9 @@ enum class ErrorCode : int {
   kWisdomCorrupt,         ///< wisdom file failed to parse (torn write)
   kQueueFull,             ///< exec service rejected a submit (backpressure)
   kTimeout,               ///< request deadline expired before completion
+  kOverloaded,            ///< admission control shed the request (CoDel)
+  kQuotaExceeded,         ///< per-tenant token bucket out of tokens
+  kDataCorrupt,           ///< output failed an integrity spot-check
   kInternal,              ///< library invariant violated (a bwfft bug)
 };
 
@@ -95,6 +98,9 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kWisdomCorrupt: return "wisdom-corrupt";
     case ErrorCode::kQueueFull: return "queue-full";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kQuotaExceeded: return "quota-exceeded";
+    case ErrorCode::kDataCorrupt: return "data-corrupt";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";

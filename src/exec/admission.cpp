@@ -1,0 +1,50 @@
+#include "exec/admission.h"
+
+namespace bwfft::exec {
+
+namespace {
+
+// splitmix64 — the standard seed scrambler. Deterministic jitter wants a
+// well-mixed function of the request sequence number, not a stateful RNG
+// (stateless = reproducible regardless of retry interleaving).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::chrono::nanoseconds retry_backoff(const RetryPolicy& policy,
+                                       int attempt, std::uint64_t seed) {
+  if (policy.base_backoff.count() <= 0) return std::chrono::nanoseconds(0);
+  const int exp = attempt < 2 ? 0 : attempt - 2;
+  // Saturating shift: past 62 doublings the cap below decides anyway.
+  std::uint64_t backoff_ns =
+      static_cast<std::uint64_t>(policy.base_backoff.count());
+  if (exp >= 63 || (backoff_ns << exp) >> exp != backoff_ns) {
+    backoff_ns = ~std::uint64_t{0} >> 1;
+  } else {
+    backoff_ns <<= exp;
+  }
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(policy.max_backoff.count());
+  if (backoff_ns > cap) backoff_ns = cap;
+  const std::uint64_t jitter =
+      backoff_ns ? mix64(seed * 2654435761ULL + static_cast<std::uint64_t>(
+                                                    attempt)) %
+                       (backoff_ns / 2 + 1)
+                 : 0;
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(backoff_ns + jitter));
+}
+
+bool latency_drift(const LatencyHistogram& hist, std::uint64_t baseline_p99_ns,
+                   double factor) {
+  if (baseline_p99_ns == 0 || hist.count == 0) return false;
+  const double limit = static_cast<double>(baseline_p99_ns) * factor;
+  return static_cast<double>(hist.quantile_ns(0.99)) > limit;
+}
+
+}  // namespace bwfft::exec

@@ -1,0 +1,240 @@
+// Admission control for the exec service: per-tenant token-bucket
+// quotas, CoDel-style queue-delay shedding, and the retry backoff
+// schedule (docs/INTERNALS.md §14).
+//
+// The split of responsibilities:
+//
+//   * TokenBucket / AdmissionController run at submit time, in the
+//     producer's thread: a tenant out of tokens is rejected with
+//     kQuotaExceeded before the request ever touches the queue, so one
+//     greedy tenant cannot crowd out the rest even below the queue's
+//     capacity limit.
+//
+//   * CoDelState runs at dequeue time, in the dispatcher: it watches the
+//     sojourn time (enqueue -> pop) of batch-lane requests and, when the
+//     delay has stayed above `codel_target` for a full `codel_interval`,
+//     starts shedding with the classic interval/sqrt(count) control law
+//     until the delay recovers. Shedding at dequeue (not enqueue) is
+//     what makes CoDel robust to bursts: a short spike drains without
+//     losses, only a standing queue is controlled. Interactive-lane
+//     requests are never shed — their protection is the capacity reserve
+//     and the drain priority in LaneQueue.
+//
+//   * RetryPolicy / retry_backoff schedule the dispatcher-level retry of
+//     transient failures (kStall / kWorkerLost): exponential backoff
+//     from `base_backoff`, capped at `max_backoff`, plus a deterministic
+//     jitter derived from the request's sequence number — reproducible
+//     under test, decorrelated in production.
+//
+// Everything here is time-fed by the caller (steady-clock nanoseconds),
+// never self-clocked, so tests drive the control laws with synthetic
+// timestamps and zero sleeps.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/error.h"
+#include "common/thread_safety.h"
+
+namespace bwfft::exec {
+
+/// Power-of-two-bucketed nanosecond histogram (bucket i covers
+/// [2^i, 2^{i+1}) ns). Coarse on purpose: serving latencies span six
+/// orders of magnitude, and a quantile within 2x is enough to see a
+/// regression — or, for the watchdog, a drift.
+struct LatencyHistogram {
+  std::array<std::uint64_t, 64> bucket{};
+  std::uint64_t count = 0;
+
+  void add(std::uint64_t ns) {
+    int b = 0;
+    while ((std::uint64_t{1} << (b + 1)) <= ns && b < 63) ++b;
+    ++bucket[static_cast<std::size_t>(b)];
+    ++count;
+  }
+  /// Upper bound of the bucket holding quantile q (0 when empty).
+  std::uint64_t quantile_ns(double q) const {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      seen += bucket[b];
+      if (static_cast<double>(seen) >= target) {
+        return (std::uint64_t{1} << (b + 1)) - 1;
+      }
+    }
+    return ~std::uint64_t{0};
+  }
+};
+
+/// Knobs of the admission layer. Defaults are permissive: no tenant
+/// quota, CoDel tuned for millisecond-scale FFT serving.
+struct AdmissionOptions {
+  /// Tenant refill rate in requests/second; 0 disables quotas entirely
+  /// (every tenant admitted).
+  double quota_rate = 0.0;
+  /// Bucket capacity: the burst a tenant may submit instantly.
+  double quota_burst = 16.0;
+  /// CoDel: acceptable standing queue delay for batch-lane requests.
+  std::chrono::nanoseconds codel_target = std::chrono::milliseconds(50);
+  /// CoDel: how long the delay must stay above target before shedding.
+  std::chrono::nanoseconds codel_interval = std::chrono::milliseconds(100);
+  /// LaneQueue: capacity slots only interactive submits may occupy.
+  std::size_t interactive_reserve = 4;
+  /// LaneQueue: consecutive interactive pops before one batch item is
+  /// drained (anti-starvation weight).
+  int batch_starvation_limit = 2;
+};
+
+/// Classic leaky token bucket over caller-supplied timestamps.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst, std::uint64_t now_ns)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst),
+        last_ns_(now_ns) {}
+
+  /// Take one token if available; refills from the elapsed time first.
+  bool try_acquire(std::uint64_t now_ns) {
+    if (now_ns > last_ns_) {
+      const double elapsed_s =
+          static_cast<double>(now_ns - last_ns_) * 1e-9;
+      tokens_ = tokens_ + elapsed_s * rate_;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_ns_ = now_ns;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_;
+};
+
+/// Submit-side admission: one token bucket per tenant name. Thread-safe
+/// (producers race on submit); the per-call cost is one short critical
+/// section over a map lookup.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opts) : opts_(opts) {}
+
+  /// Ok, or kQuotaExceeded when `tenant`'s bucket is dry. With
+  /// quota_rate == 0 every request is admitted without touching the map.
+  Status admit(const std::string& tenant, std::uint64_t now_ns) {
+    if (opts_.quota_rate <= 0.0) return Status::Ok();
+    MutexLock lk(mu_);
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(tenant, TokenBucket(opts_.quota_rate,
+                                            opts_.quota_burst, now_ns))
+               .first;
+    }
+    if (it->second.try_acquire(now_ns)) return Status::Ok();
+    return Status(ErrorCode::kQuotaExceeded,
+                  "tenant '" + tenant + "' over quota");
+  }
+
+  const AdmissionOptions& options() const { return opts_; }
+
+ private:
+  const AdmissionOptions opts_;
+  Mutex mu_;
+  std::map<std::string, TokenBucket> buckets_ BWFFT_GUARDED_BY(mu_);
+};
+
+/// Dequeue-side CoDel control law. Single-consumer state — lives in the
+/// dispatcher, no locking. Feed it the sojourn time of every batch-lane
+/// pop; it says which requests to shed.
+class CoDelState {
+ public:
+  CoDelState(std::chrono::nanoseconds target,
+             std::chrono::nanoseconds interval)
+      : target_ns_(static_cast<std::uint64_t>(target.count())),
+        interval_ns_(static_cast<std::uint64_t>(interval.count())) {}
+
+  /// True when the request popped at `now_ns` after waiting `sojourn_ns`
+  /// should be shed (completed with kOverloaded instead of executed).
+  bool should_shed(std::uint64_t now_ns, std::uint64_t sojourn_ns) {
+    if (sojourn_ns < target_ns_) {
+      // Delay recovered: leave the dropping state, restart the clock.
+      first_above_ns_ = 0;
+      dropping_ = false;
+      return false;
+    }
+    if (first_above_ns_ == 0) {
+      // First sample above target: arm the interval timer; shed only if
+      // the delay is still above target a full interval from now.
+      first_above_ns_ = now_ns + interval_ns_;
+      return false;
+    }
+    if (!dropping_) {
+      if (now_ns < first_above_ns_) return false;
+      // Above target for a whole interval: start shedding.
+      dropping_ = true;
+      drop_count_ = 1;
+      next_drop_ns_ = now_ns + control_law(drop_count_);
+      return true;
+    }
+    if (now_ns < next_drop_ns_) return false;
+    // Still dropping: shed again, tightening the cadence as
+    // interval/sqrt(count) — the CoDel control law.
+    ++drop_count_;
+    next_drop_ns_ += control_law(drop_count_);
+    return true;
+  }
+
+  bool dropping() const { return dropping_; }
+  std::uint64_t drop_count() const { return drop_count_; }
+
+ private:
+  std::uint64_t control_law(std::uint64_t count) const {
+    const double s = std::sqrt(static_cast<double>(count));
+    return static_cast<std::uint64_t>(static_cast<double>(interval_ns_) /
+                                      (s > 1.0 ? s : 1.0));
+  }
+
+  const std::uint64_t target_ns_;
+  const std::uint64_t interval_ns_;
+  std::uint64_t first_above_ns_ = 0;  // 0 = below target
+  bool dropping_ = false;
+  std::uint64_t drop_count_ = 0;
+  std::uint64_t next_drop_ns_ = 0;
+};
+
+/// Per-request retry schedule for transient execution failures. The
+/// default (max_attempts = 1) disables retries: a request is tried once
+/// and its failure surfaces.
+struct RetryPolicy {
+  /// Total execution attempts (first try included). 1 = no retry.
+  int max_attempts = 1;
+  /// Backoff before attempt k (k >= 2) is base * 2^(k-2), capped.
+  std::chrono::nanoseconds base_backoff = std::chrono::milliseconds(1);
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(100);
+};
+
+/// Backoff before retry attempt `attempt` (2-based: the first retry is
+/// attempt 2): exponential from base, capped at max, plus a
+/// deterministic jitter in [0, backoff/2) derived from `seed` (the
+/// request's sequence number) — reproducible, decorrelated across
+/// requests. base_backoff == 0 yields 0 (the zero-sleep test mode).
+std::chrono::nanoseconds retry_backoff(const RetryPolicy& policy,
+                                       int attempt, std::uint64_t seed);
+
+/// Watchdog drift test: true when the histogram's p99 has drifted above
+/// `factor` times `baseline_p99_ns`. Baselines of 0 (no samples yet)
+/// never drift.
+bool latency_drift(const LatencyHistogram& hist, std::uint64_t baseline_p99_ns,
+                   double factor);
+
+}  // namespace bwfft::exec

@@ -5,33 +5,57 @@
 // oversubscribe the cores and pay plan + thread startup per call. The
 // BatchExecutor is the multi-tenant answer: it owns one persistent,
 // pinned thread team (drawn from parallel::TeamPool, sized from
-// host_topology()) and a bounded MPMC submission queue. Producers call
-// submit(request) -> std::future<ExecReport>; a dispatcher thread pops
-// requests, coalesces same-shape neighbours into batches, runs each
-// batch through a shared tune::PlanCache plan (plans built once, teams
-// never respawned) and fulfils the futures.
+// host_topology()) and a bounded two-lane MPMC submission queue.
+// Producers call submit(request) -> std::future<ExecReport>; a
+// dispatcher thread pops requests, coalesces same-shape neighbours into
+// batches, runs each batch through a shared tune::PlanCache plan (plans
+// built once, teams never respawned) and fulfils the futures.
 //
-// Backpressure and deadlines use the typed-error layer:
-//   * a full queue rejects the submit with kQueueFull (immediately, or —
-//     when the request carries a deadline — after waiting for space until
-//     that deadline);
-//   * a request whose deadline passes before its batch starts is
-//     completed with kTimeout without executing.
-// Execution failures route through the PR-4 recovery policy
-// (CachedPlan::try_execute): a stalled or lost worker degrades that
-// plan — fewer threads, then the reference engine — so one bad request
-// degrades instead of killing the service.
+// Overload control and self-healing (docs/INTERNALS.md §14):
+//   * submit-side admission — per-tenant token-bucket quotas reject with
+//     kQuotaExceeded; a full queue rejects with kQueueFull (immediately,
+//     or — when the request carries a deadline — after waiting for space
+//     until that deadline);
+//   * priority lanes — interactive requests drain first (with a bounded
+//     anti-starvation weight for the batch lane) and hold a capacity
+//     reserve batch submits may not occupy;
+//   * dequeue-side shedding — CoDel on the batch lane's sojourn time
+//     completes requests with kOverloaded instead of letting a standing
+//     queue grow latency without bound;
+//   * retry — a request whose execution fails transiently (kStall /
+//     kWorkerLost) is re-queued with exponential backoff + jitter, up to
+//     its RetryPolicy's attempt budget, on top of the per-execution
+//     PR-4 recovery inside CachedPlan::try_execute;
+//   * quarantine — a plan whose executions keep failing (or that fails
+//     an integrity check) is evicted from the PlanCache and rebuilt
+//     under a new variant tag at TuneLevel::Estimate;
+//   * integrity spot-checks — a configurable fraction of served requests
+//     is energy-checked (Parseval) after execution; a mismatch turns a
+//     silently-wrong result into a typed kDataCorrupt report;
+//   * health watchdog — an optional background thread (plus the
+//     check_health() entry point) that flags stuck batches via the
+//     dispatcher heartbeat and end-to-end latency drift against an
+//     established baseline.
+//
+// A request whose deadline passes before its batch starts is completed
+// with kTimeout without executing. Execution failures route through the
+// PR-4 recovery policy (CachedPlan::try_execute): a stalled or lost
+// worker degrades that plan — fewer threads, then the reference
+// engine — so one bad request degrades instead of killing the service.
 //
 // Instrumented with obs counters (exec_submit/reject/timeout/complete/
-// batch, exec_queue_ns) plus local queue-wait and end-to-end latency
-// histograms, and a chrome-trace track for the dispatcher
-// (docs/INTERNALS.md §11).
+// batch/shed/quota_exceeded/retry/quarantine/integrity_check/
+// data_corrupt/slow_batch, exec_queue_ns) plus local queue-wait and
+// end-to-end latency histograms, and a chrome-trace track for the
+// dispatcher (docs/INTERNALS.md §11).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -40,6 +64,7 @@
 #include "common/error.h"
 #include "common/thread_safety.h"
 #include "common/types.h"
+#include "exec/admission.h"
 #include "exec/queue.h"
 #include "fft/fft.h"
 #include "fft/options.h"
@@ -47,8 +72,6 @@
 #include "tune/plan_cache.h"
 
 namespace bwfft::exec {
-
-using Clock = std::chrono::steady_clock;
 
 /// One transform request. `in`/`out` stay owned by the caller and must
 /// outlive the future's completion; engines may clobber `in` (the
@@ -61,6 +84,15 @@ struct Request {
   /// Latest acceptable start time. Default (epoch zero) = no deadline.
   /// Also bounds how long submit() waits for queue space.
   Clock::time_point deadline{};
+  /// Priority class. Interactive (the default) drains first, is never
+  /// shed by CoDel, and may use the queue's reserved slots; mark bulk
+  /// work kBatch so it absorbs the shedding instead.
+  Lane lane = Lane::kInteractive;
+  /// Quota identity. Tenants share the executor; each name gets its own
+  /// token bucket when ServeOptions::admission.quota_rate > 0.
+  std::string tenant;
+  /// Dispatcher-level retry budget for transient execution failures.
+  RetryPolicy retry{};
 };
 
 struct ServeOptions {
@@ -82,36 +114,31 @@ struct ServeOptions {
   /// tests fill the queue deterministically; a running service created
   /// paused accepts submits but completes none until resumed.
   bool start_paused = false;
+
+  /// Quotas, CoDel shedding and lane weighting (exec/admission.h).
+  AdmissionOptions admission{};
+  /// Fraction of successfully-executed requests energy-checked after
+  /// execution (Parseval). 0 disables; 1 checks every request. Sampling
+  /// is deterministic (every round(1/fraction)-th request).
+  double integrity_fraction = 0.0;
+  /// Consecutive execution failures of one plan key before the plan is
+  /// quarantined (evicted and rebuilt at TuneLevel::Estimate). A failed
+  /// integrity check quarantines immediately.
+  int quarantine_after = 2;
+  /// Run the background health watchdog thread. check_health() performs
+  /// the same scan on demand either way.
+  bool watchdog = false;
+  std::chrono::milliseconds watchdog_interval{100};
+  /// A batch still running after this long is flagged (exec_slow_batch).
+  std::chrono::milliseconds slow_batch_after{1000};
+  /// End-to-end p99 above drift_factor x the established baseline p99
+  /// counts a latency-drift event.
+  double drift_factor = 8.0;
 };
 
-/// Power-of-two-bucketed nanosecond histogram (bucket i covers
-/// [2^i, 2^{i+1}) ns). Coarse on purpose: serving latencies span six
-/// orders of magnitude, and a quantile within 2x is enough to see a
-/// regression.
-struct LatencyHistogram {
-  std::array<std::uint64_t, 64> bucket{};
-  std::uint64_t count = 0;
-
-  void add(std::uint64_t ns) {
-    int b = 0;
-    while ((std::uint64_t{1} << (b + 1)) <= ns && b < 63) ++b;
-    ++bucket[static_cast<std::size_t>(b)];
-    ++count;
-  }
-  /// Upper bound of the bucket holding quantile q (0 when empty).
-  std::uint64_t quantile_ns(double q) const {
-    if (count == 0) return 0;
-    const double target = q * static_cast<double>(count);
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < bucket.size(); ++b) {
-      seen += bucket[b];
-      if (static_cast<double>(seen) >= target) {
-        return (std::uint64_t{1} << (b + 1)) - 1;
-      }
-    }
-    return ~std::uint64_t{0};
-  }
-};
+/// Capacity of ExecStats::completion_order (oldest kept; the cap bounds
+/// the stats copy, not the service).
+inline constexpr std::size_t kCompletionOrderCap = 1024;
 
 struct ExecStats {
   std::uint64_t submitted = 0;      ///< accepted into the queue
@@ -126,6 +153,25 @@ struct ExecStats {
   std::size_t peak_queue_depth = 0;
   LatencyHistogram queue_wait;  ///< enqueue -> dispatch start
   LatencyHistogram end_to_end;  ///< enqueue -> future fulfilled
+
+  // Overload-control tallies (§14).
+  std::uint64_t shed = 0;             ///< kOverloaded (CoDel / exec.shed)
+  std::uint64_t quota_rejected = 0;   ///< kQuotaExceeded at submit
+  std::uint64_t retried = 0;          ///< transient failures re-queued
+  std::uint64_t quarantined = 0;      ///< plans evicted and rebuilt
+  std::uint64_t integrity_checked = 0;
+  std::uint64_t integrity_failed = 0; ///< kDataCorrupt reports
+  std::uint64_t slow_batches = 0;     ///< watchdog stuck-batch flags
+  std::uint64_t latency_drift_events = 0;
+  std::uint64_t watchdog_scans = 0;
+  /// Per-lane accounting, indexed by static_cast<int>(Lane).
+  std::array<std::uint64_t, kLaneCount> submitted_by_lane{};
+  std::array<std::uint64_t, kLaneCount> completed_by_lane{};
+  std::array<LatencyHistogram, kLaneCount> lane_queue_wait{};
+  /// Lane of each fulfilled request in completion order (first
+  /// kCompletionOrderCap entries) — the starvation tests read the
+  /// documented I I B I I B ... drain pattern off this.
+  std::vector<int> completion_order;
 
   /// Mean requests per batch (batch occupancy).
   double batch_occupancy() const {
@@ -144,8 +190,9 @@ class BatchExecutor {
   BatchExecutor& operator=(const BatchExecutor&) = delete;
 
   /// Enqueue one request. The returned future is always eventually
-  /// fulfilled — with the execution's ExecReport, or with a kQueueFull /
-  /// kTimeout report when backpressure or the deadline rejected it.
+  /// fulfilled — with the execution's ExecReport, or with a typed
+  /// rejection (kQueueFull / kQuotaExceeded / kTimeout at submit,
+  /// kOverloaded / kTimeout at dispatch).
   std::future<ExecReport> submit(Request req);
 
   /// Blocking convenience: submit every request (waiting for queue space,
@@ -165,6 +212,12 @@ class BatchExecutor {
   /// dispatcher. Idempotent; the destructor calls it.
   void shutdown();
 
+  /// One watchdog scan, on the caller's thread: stuck-batch heartbeat
+  /// check plus latency-drift detection. The background watchdog thread
+  /// (ServeOptions::watchdog) calls this on its interval; tests and
+  /// operators call it directly for deterministic coverage.
+  void check_health();
+
   ExecStats stats() const;
   int threads() const { return threads_; }
   const tune::PlanCache& cache() const { return *cache_; }
@@ -175,13 +228,31 @@ class BatchExecutor {
     std::promise<ExecReport> promise;
     std::uint64_t enqueue_ns = 0;
     std::string key;  // dims + direction: the coalescing identity
+    std::uint64_t seq = 0;  // submit order; seeds the retry jitter
+    int attempt = 1;        // execution attempts so far, this one included
+    Clock::time_point not_before{};  // retry backoff gate (epoch 0 = none)
+  };
+
+  /// Dispatcher-private health record of one plan key.
+  struct PlanHealth {
+    int consecutive_failures = 0;
+    int generation = 0;  // bumped on quarantine; keys the rebuilt variant
   };
 
   static std::string key_of(const Request& req);
   FftOptions plan_options() const;
+  FftOptions plan_options_for(int generation) const;
+  static std::string variant_of(int generation);
   void dispatch_loop();
   void run_batch(std::vector<Job>& batch);
   void finish(Job& job, const ExecReport& rep, std::uint64_t end_ns);
+  /// True when the popped job was shed (kOverloaded) instead of batched.
+  bool maybe_shed(Job& job, std::uint64_t now_ns);
+  /// Post-execute Parseval check; non-ok = kDataCorrupt.
+  Status integrity_check(const Job& job, double in_energy,
+                         const FftOptions& resolved) const;
+  void quarantine_plan(const Job& job, PlanHealth& health);
+  void watchdog_loop();
 
   ServeOptions opts_;
   int threads_ = 0;
@@ -189,13 +260,31 @@ class BatchExecutor {
   std::vector<int> team_cpus_;        // its pin list (for plan matching)
   std::unique_ptr<tune::PlanCache> owned_cache_;
   tune::PlanCache* cache_ = nullptr;
-  BoundedQueue<Job> queue_;
+  LaneQueue<Job> queue_;
+  AdmissionController admission_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  // Dispatcher-private state: CoDel control law, plan health map and the
+  // integrity sampling counter are touched only from dispatch_loop() /
+  // run_batch(), so they need no lock.
+  CoDelState codel_;
+  std::map<std::string, PlanHealth> plan_health_;
+  std::uint64_t integrity_seq_ = 0;
+
+  // Watchdog heartbeat: obs::now_ns() when the in-flight batch started,
+  // 0 while the dispatcher is between batches. last_slow_flag_ns_ keeps
+  // one flag per batch (rising edge).
+  std::atomic<std::uint64_t> batch_start_ns_{0};
+  std::atomic<std::uint64_t> last_slow_flag_ns_{0};
 
   // Lock discipline (checked by the clang -Wthread-safety CI legs):
-  // stats_mu_ guards the counter block, pause_mu_ guards the dispatcher
-  // gate. Neither is ever held across an execute or a queue wait.
+  // stats_mu_ guards the counter block and the drift baseline, pause_mu_
+  // guards the dispatcher gate. Neither is ever held across an execute
+  // or a queue wait.
   mutable Mutex stats_mu_;
   ExecStats stats_ BWFFT_GUARDED_BY(stats_mu_);
+  std::uint64_t baseline_p99_ns_ BWFFT_GUARDED_BY(stats_mu_) = 0;
+  bool in_drift_ BWFFT_GUARDED_BY(stats_mu_) = false;
 
   Mutex pause_mu_;
   CondVar pause_cv_;  // signalled on resume() and shutdown()
@@ -203,6 +292,7 @@ class BatchExecutor {
   bool stopping_ BWFFT_GUARDED_BY(pause_mu_) = false;
 
   std::thread dispatcher_;
+  std::thread watchdog_;
 };
 
 }  // namespace bwfft::exec

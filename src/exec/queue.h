@@ -1,21 +1,43 @@
-// Bounded MPMC queue — the submission channel of the exec service.
+// Bounded MPMC queues — the submission channels of the exec service.
 //
 // Multiple producer threads (request handlers) push, multiple consumers
-// (the dispatcher) pop. The queue is deliberately a mutex + two condition
-// variables over a ring: submissions are milliseconds-scale FFT requests,
+// (the dispatcher) pop. Both queues are deliberately a mutex + condition
+// variables over deques: submissions are milliseconds-scale FFT requests,
 // so queue overhead is noise, and the simple implementation is trivially
 // correct under TSan — which matters more here than lock-free throughput.
 // Capacity is fixed at construction; a full queue is the backpressure
 // signal the BatchExecutor turns into kQueueFull.
 //
+// Two containers:
+//
+//   * BoundedQueue<T> — the single-lane original. Push results are a
+//     typed PushResult so "full at the deadline" and "closed while
+//     waiting" are distinguishable: a close racing a timed wait must
+//     surface as kClosed ("executor shut down"), never as a spurious
+//     timeout — the decision is taken under the lock, not re-derived
+//     afterwards.
+//
+//   * LaneQueue<T> — two priority lanes (interactive / batch) under one
+//     lock and one shared capacity. The batch lane may not occupy the
+//     last `interactive_reserve` slots, so a batch flood can never wedge
+//     interactive submits out of the queue. Draining is weighted
+//     anti-starvation: interactive wins whenever both lanes hold work,
+//     except that after `batch_starvation_limit` consecutive interactive
+//     pops one batch item is drained (so with limit=2 and backlogs on
+//     both lanes the pop order is I I B I I B ...). requeue() re-inserts
+//     a retried item at the back of its lane, exempt from the capacity
+//     check — a retry must never be lost to backpressure, only to
+//     shutdown.
+//
 // Lock discipline is compile-time checked (clang -Wthread-safety via
-// src/common/thread_safety.h): items_ and closed_ are GUARDED_BY(mu_),
-// and every wait is an explicit while loop so the analysis sees the
-// condition reads happen under the lock. Notifications are issued after
-// the lock is dropped — legal for condition variables and one fewer
-// wake-up into a held lock.
+// src/common/thread_safety.h): queue state is GUARDED_BY(mu_), and every
+// wait is an explicit loop so the analysis sees the condition reads
+// happen under the lock. Notifications are issued after the lock is
+// dropped — legal for condition variables and one fewer wake-up into a
+// held lock.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <deque>
@@ -26,52 +48,81 @@
 
 namespace bwfft::exec {
 
+/// All exec deadline and backoff math uses the steady clock — wall-clock
+/// (system_clock) adjustments must never expire or extend a deadline.
+using Clock = std::chrono::steady_clock;
+
+/// Typed push outcome: the reason for a rejection is decided atomically
+/// under the queue lock, so callers can map kFull -> kQueueFull and
+/// kClosed -> "executor shut down" without racy after-the-fact checks.
+enum class PushResult {
+  kAccepted,  ///< item enqueued
+  kFull,      ///< capacity reached (and still reached at the deadline)
+  kClosed,    ///< queue closed before the item could be accepted
+};
+
+/// Priority lane of a request. Interactive is latency-sensitive (drained
+/// first, never shed by CoDel); batch is throughput work that absorbs
+/// the shedding and the anti-starvation weighting.
+enum class Lane : int {
+  kInteractive = 0,
+  kBatch = 1,
+};
+inline constexpr std::size_t kLaneCount = 2;
+
+inline const char* lane_name(Lane lane) {
+  return lane == Lane::kInteractive ? "interactive" : "batch";
+}
+
 template <typename T>
 class BoundedQueue {
  public:
-  using Clock = std::chrono::steady_clock;
-
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
-  /// Non-blocking push. False when the queue is full or closed.
-  bool try_push(T&& item) {
+  /// Non-blocking push.
+  PushResult try_push(T&& item) {
     {
       MutexLock lk(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     cv_pop_.notify_one();
-    return true;
+    return PushResult::kAccepted;
   }
 
-  /// Push, waiting for space until `deadline`. False on a queue still
-  /// full at the deadline or closed while waiting.
-  bool push_until(T&& item, Clock::time_point deadline) {
+  /// Push, waiting for space until `deadline`. kFull on a queue still
+  /// full at the deadline; kClosed when the queue closed first — checked
+  /// under the lock at the moment the wait gives up, so a close racing
+  /// the timeout reports kClosed.
+  PushResult push_until(T&& item, Clock::time_point deadline) {
     {
       MutexLock lk(mu_);
-      while (!closed_ && items_.size() >= capacity_) {
-        if (cv_push_.wait_until(mu_, deadline) == std::cv_status::timeout &&
-            !closed_ && items_.size() >= capacity_) {
-          return false;
+      for (;;) {
+        if (closed_) return PushResult::kClosed;
+        if (items_.size() < capacity_) break;
+        if (cv_push_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+          if (closed_) return PushResult::kClosed;
+          if (items_.size() < capacity_) break;
+          return PushResult::kFull;
         }
       }
-      if (closed_) return false;
       items_.push_back(std::move(item));
     }
     cv_pop_.notify_one();
-    return true;
+    return PushResult::kAccepted;
   }
 
-  /// Push, waiting for space indefinitely. False only when closed.
-  bool push_wait(T&& item) {
+  /// Push, waiting for space indefinitely. kClosed is the only failure.
+  PushResult push_wait(T&& item) {
     {
       MutexLock lk(mu_);
       while (!closed_ && items_.size() >= capacity_) cv_push_.wait(mu_);
-      if (closed_) return false;
+      if (closed_) return PushResult::kClosed;
       items_.push_back(std::move(item));
     }
     cv_pop_.notify_one();
-    return true;
+    return PushResult::kAccepted;
   }
 
   /// Blocking pop: waits for an item. Empty optional once the queue is
@@ -131,6 +182,183 @@ class BoundedQueue {
   CondVar cv_push_;  // space became available
   CondVar cv_pop_;   // an item became available
   std::deque<T> items_ BWFFT_GUARDED_BY(mu_);
+  bool closed_ BWFFT_GUARDED_BY(mu_) = false;
+};
+
+/// Two-lane bounded queue with an interactive capacity reserve and
+/// weighted anti-starvation draining (see the header comment).
+template <typename T>
+class LaneQueue {
+ public:
+  LaneQueue(std::size_t capacity, std::size_t interactive_reserve,
+            int batch_starvation_limit)
+      : capacity_(capacity),
+        interactive_reserve_(
+            interactive_reserve < capacity ? interactive_reserve
+                                           : capacity - 1),
+        starvation_limit_(batch_starvation_limit < 1
+                              ? 1
+                              : batch_starvation_limit) {}
+
+  PushResult try_push(Lane lane, T&& item) {
+    {
+      MutexLock lk(mu_);
+      PushResult r = admit_locked(lane);
+      if (r != PushResult::kAccepted) return r;
+      lanes_[idx(lane)].push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  PushResult push_until(Lane lane, T&& item, Clock::time_point deadline) {
+    {
+      MutexLock lk(mu_);
+      for (;;) {
+        PushResult r = admit_locked(lane);
+        if (r == PushResult::kAccepted) break;
+        if (r == PushResult::kClosed) return r;
+        if (cv_push_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+          r = admit_locked(lane);
+          if (r != PushResult::kAccepted) return r;
+          break;
+        }
+      }
+      lanes_[idx(lane)].push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  PushResult push_wait(Lane lane, T&& item) {
+    {
+      MutexLock lk(mu_);
+      for (;;) {
+        PushResult r = admit_locked(lane);
+        if (r == PushResult::kAccepted) break;
+        if (r == PushResult::kClosed) return r;
+        cv_push_.wait(mu_);
+      }
+      lanes_[idx(lane)].push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Re-insert a retried item at the back of its lane, exempt from the
+  /// capacity check (the slot it vacated may already be refilled; a
+  /// retry must not be lost to backpressure). False only when closed —
+  /// retries do not survive shutdown.
+  bool requeue(Lane lane, T&& item) {
+    {
+      MutexLock lk(mu_);
+      if (closed_) return false;
+      lanes_[idx(lane)].push_back(std::move(item));
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop in lane-priority order. Empty optional once closed AND
+  /// both lanes drained.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      MutexLock lk(mu_);
+      while (!closed_ && total_locked() == 0) cv_pop_.wait(mu_);
+      if (total_locked() == 0) return std::nullopt;
+      out.emplace(pop_locked());
+    }
+    cv_push_.notify_one();
+    return out;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      MutexLock lk(mu_);
+      if (total_locked() == 0) return std::nullopt;
+      out.emplace(pop_locked());
+    }
+    cv_push_.notify_one();
+    return out;
+  }
+
+  void close() {
+    {
+      MutexLock lk(mu_);
+      closed_ = true;
+    }
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  bool closed() const {
+    MutexLock lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    MutexLock lk(mu_);
+    return total_locked();
+  }
+
+  std::size_t size(Lane lane) const {
+    MutexLock lk(mu_);
+    return lanes_[idx(lane)].size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t interactive_reserve() const { return interactive_reserve_; }
+
+ private:
+  static std::size_t idx(Lane lane) {
+    return static_cast<std::size_t>(static_cast<int>(lane));
+  }
+
+  std::size_t total_locked() const BWFFT_REQUIRES(mu_) {
+    return lanes_[0].size() + lanes_[1].size();
+  }
+
+  PushResult admit_locked(Lane lane) const BWFFT_REQUIRES(mu_) {
+    if (closed_) return PushResult::kClosed;
+    const std::size_t limit = lane == Lane::kBatch
+                                  ? capacity_ - interactive_reserve_
+                                  : capacity_;
+    return total_locked() < limit ? PushResult::kAccepted : PushResult::kFull;
+  }
+
+  T pop_locked() BWFFT_REQUIRES(mu_) {
+    auto& interactive = lanes_[idx(Lane::kInteractive)];
+    auto& batch = lanes_[idx(Lane::kBatch)];
+    Lane pick;
+    if (interactive.empty()) {
+      pick = Lane::kBatch;
+    } else if (batch.empty()) {
+      pick = Lane::kInteractive;
+    } else {
+      pick = consec_interactive_ >= starvation_limit_ ? Lane::kBatch
+                                                      : Lane::kInteractive;
+    }
+    auto& lane = lanes_[idx(pick)];
+    T out = std::move(lane.front());
+    lane.pop_front();
+    if (pick == Lane::kInteractive) {
+      ++consec_interactive_;
+    } else {
+      consec_interactive_ = 0;
+    }
+    return out;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t interactive_reserve_;
+  const int starvation_limit_;
+  mutable Mutex mu_;
+  CondVar cv_push_;  // space became available
+  CondVar cv_pop_;   // an item became available
+  std::array<std::deque<T>, kLaneCount> lanes_ BWFFT_GUARDED_BY(mu_);
+  int consec_interactive_ BWFFT_GUARDED_BY(mu_) = 0;
   bool closed_ BWFFT_GUARDED_BY(mu_) = false;
 };
 

@@ -62,6 +62,14 @@ inline constexpr const char* kSiteBarrierStall = "barrier.stall";
 inline constexpr const char* kSitePipelineStall = "pipeline.stall";
 inline constexpr const char* kSiteWisdomTorn = "wisdom.torn";
 inline constexpr const char* kSiteWisdomCorrupt = "wisdom.corrupt";
+// Exec-service resilience sites (docs/INTERNALS.md §14): shed a popped
+// request, synthetically age a batch for the watchdog (=value is the age
+// in ms), fail a plan's execution as a transient stall, and corrupt one
+// output element after a successful execute.
+inline constexpr const char* kSiteExecShed = "exec.shed";
+inline constexpr const char* kSiteExecSlowBatch = "exec.slow_batch";
+inline constexpr const char* kSitePlanPoison = "plan.poison";
+inline constexpr const char* kSiteResultCorrupt = "result.corrupt";
 
 /// One parsed spec of a FaultPlan (see the grammar above).
 struct FaultSpec {

@@ -161,6 +161,13 @@ const char* counter_name(Counter c) {
     case Counter::BatchScalar: return "batch_scalar";
     case Counter::BatchAvx2: return "batch_avx2";
     case Counter::BatchAvx512: return "batch_avx512";
+    case Counter::ExecShed: return "exec_shed";
+    case Counter::ExecQuotaExceeded: return "exec_quota_exceeded";
+    case Counter::ExecRetry: return "exec_retry";
+    case Counter::ExecQuarantine: return "exec_quarantine";
+    case Counter::ExecIntegrityCheck: return "exec_integrity_check";
+    case Counter::ExecDataCorrupt: return "exec_data_corrupt";
+    case Counter::ExecSlowBatch: return "exec_slow_batch";
   }
   return "?";
 }

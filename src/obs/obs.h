@@ -66,8 +66,15 @@ enum class Counter : int {
   BatchScalar,      ///< batched-codelet dispatches resolved to scalar
   BatchAvx2,        ///< batched-codelet dispatches resolved to AVX2+FMA
   BatchAvx512,      ///< batched-codelet dispatches resolved to AVX-512
+  ExecShed,         ///< requests shed by CoDel / exec.shed admission
+  ExecQuotaExceeded, ///< submits rejected by a tenant token bucket
+  ExecRetry,        ///< transient failures re-queued by the RetryPolicy
+  ExecQuarantine,   ///< plans evicted and rebuilt after repeated failure
+  ExecIntegrityCheck, ///< output spot-checks performed (Parseval energy)
+  ExecDataCorrupt,  ///< spot-checks that failed (kDataCorrupt reports)
+  ExecSlowBatch,    ///< watchdog heartbeat flags on a stuck batch
 };
-inline constexpr int kCounterCount = 24;
+inline constexpr int kCounterCount = 31;
 
 /// Stable snake_case name (JSON keys in BENCH_*.json use these).
 const char* counter_name(Counter c);

@@ -140,6 +140,20 @@ std::shared_ptr<CachedPlan> PlanCache::acquire(const std::vector<idx_t>& dims,
   return plan;
 }
 
+bool PlanCache::erase(const std::vector<idx_t>& dims, Direction dir,
+                      FftOptions opts, const std::string& variant) {
+  const std::string key = key_of(dims, dir, opts, variant);
+  MutexLock lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.building) return false;
+  stats_.bytes -= it->second.plan->footprint_bytes();
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  stats_.plans = entries_.size();
+  return true;
+}
+
 void PlanCache::evict_locked() {
   // Walk from the LRU tail; skip entries still building (they are not in
   // lru_ anyway). Never evict the most recent entry: a cache whose

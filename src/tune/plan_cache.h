@@ -95,6 +95,7 @@ class PlanCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  ///< targeted erase() calls (quarantine)
     std::size_t plans = 0;  ///< currently cached
     std::size_t bytes = 0;  ///< estimated footprint of cached plans
   };
@@ -109,6 +110,14 @@ class PlanCache {
   std::shared_ptr<CachedPlan> acquire(const std::vector<idx_t>& dims,
                                       Direction dir, FftOptions opts = {},
                                       const std::string& variant = "");
+
+  /// Evict one specific entry — the quarantine hook of the exec watchdog
+  /// (docs/INTERNALS.md §14). The plan stays alive for callers still
+  /// holding it; the next acquire of the key rebuilds. An entry still
+  /// building is left to its builder (erase returns false, like a miss).
+  /// True when a completed entry was dropped.
+  bool erase(const std::vector<idx_t>& dims, Direction dir,
+             FftOptions opts = {}, const std::string& variant = "");
 
   Stats stats() const;
   void clear();

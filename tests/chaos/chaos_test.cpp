@@ -1,0 +1,412 @@
+// Chaos acceptance suite for the exec service (ISSUE-9): every fault in
+// the exec family is injected deterministically (fault::set_plan_from_spec,
+// zero sleeps, zero wall-clock dependence) and the service must respond
+// with its documented resilience behavior — typed sheds instead of
+// deadlock, bit-exact retries, corrupt results caught and the plan
+// quarantined and rebuilt, interactive traffic never starved behind a
+// batch backlog. check.sh chaos runs this label under ASan+UBSan and
+// TSan; the tests also carry tier1 (they are fast and deterministic).
+//
+// gtest_discover_tests runs each TEST in its own process, so the
+// process-global fault plan installed here cannot leak across tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/batch_executor.h"
+#include "fault/fault.h"
+#include "fft/reference.h"
+#include "../test_util.h"
+
+namespace bwfft::exec {
+namespace {
+
+using namespace std::chrono_literals;
+using test::fft_tol;
+using test::max_err;
+
+/// Buffers + reference answer for one request (the executor borrows
+/// in/out; this keeps them alive until the future resolves).
+struct Case {
+  std::vector<idx_t> dims;
+  Direction dir = Direction::Forward;
+  cvec in, out, want;
+
+  Case(std::vector<idx_t> d, Direction dr, unsigned seed)
+      : dims(std::move(d)), dir(dr) {
+    idx_t total = 1;
+    for (idx_t n : dims) total *= n;
+    in = random_cvec(total, seed);
+    out.assign(in.size(), cplx{-7.0, -7.0});  // sentinel: untouched on reject
+    want.resize(in.size());
+    if (dims.size() == 2) {
+      reference_dft_2d(in.data(), want.data(), dims[0], dims[1], dir);
+    } else {
+      reference_dft_3d(in.data(), want.data(), dims[0], dims[1], dims[2],
+                       dir);
+    }
+  }
+
+  Request request() {
+    Request r;
+    r.dims = dims;
+    r.dir = dir;
+    r.in = in.data();
+    r.out = out.data();
+    return r;
+  }
+
+  void expect_correct() const {
+    EXPECT_LT(max_err(want, out), fft_tol(static_cast<double>(want.size())));
+  }
+  void expect_untouched() const {
+    for (const cplx& c : out) {
+      ASSERT_EQ(cplx(-7.0, -7.0), c) << "rejected request ran anyway";
+    }
+  }
+};
+
+void arm(const std::string& spec) {
+  std::string err;
+  ASSERT_TRUE(fault::set_plan_from_spec(spec, &err)) << err;
+}
+
+// A request popped while exec.shed is armed completes with a typed
+// kOverloaded — the caller gets an answer, not a hang, and the output
+// buffer is never touched. The service keeps serving afterwards.
+TEST(Chaos, ShedUnderOverloadIsTyped) {
+  fault::clear();
+  arm("exec.shed:1");
+  ServeOptions o;
+  o.start_paused = true;
+  BatchExecutor ex(o);
+  std::vector<Case> cases;
+  std::vector<std::future<ExecReport>> futures;
+  for (int i = 0; i < 3; ++i) {
+    cases.emplace_back(std::vector<idx_t>{8, 8}, Direction::Forward,
+                       static_cast<unsigned>(9000 + i));
+  }
+  for (Case& c : cases) futures.push_back(ex.submit(c.request()));
+  ex.resume();
+
+  int shed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ExecReport rep = futures[i].get();
+    if (rep.status.code() == ErrorCode::kOverloaded) {
+      ++shed;
+      EXPECT_NE(std::string::npos, rep.status.message().find("shed"))
+          << rep.status.str();
+      cases[i].expect_untouched();
+    } else {
+      EXPECT_TRUE(rep.status.ok()) << rep.status.str();
+      cases[i].expect_correct();
+    }
+  }
+  EXPECT_EQ(1, shed);
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(1u, s.shed);
+  EXPECT_EQ(2u, s.completed);
+  EXPECT_EQ(0u, s.failed) << "a shed is a rejection, not a failure";
+  EXPECT_EQ(1u, fault::fired_count(fault::kSiteExecShed));
+  fault::clear();
+}
+
+// Per-tenant token buckets: one greedy tenant is bounced with
+// kQuotaExceeded before touching the queue; other tenants are untouched.
+TEST(Chaos, QuotaExceededPerTenant) {
+  ServeOptions o;
+  o.admission.quota_rate = 1e-3;  // ~1000 s per token: no refill in-test
+  o.admission.quota_burst = 2.0;
+  BatchExecutor ex(o);
+  auto serve_as = [&](const char* tenant, Case& c) {
+    Request r = c.request();
+    r.tenant = tenant;
+    return ex.submit(std::move(r)).get();
+  };
+  std::vector<Case> greedy;
+  for (int i = 0; i < 3; ++i) {
+    greedy.emplace_back(std::vector<idx_t>{8, 8}, Direction::Forward,
+                        static_cast<unsigned>(9100 + i));
+  }
+  EXPECT_TRUE(serve_as("greedy", greedy[0]).status.ok());
+  EXPECT_TRUE(serve_as("greedy", greedy[1]).status.ok());
+  const ExecReport rejected = serve_as("greedy", greedy[2]);
+  EXPECT_EQ(ErrorCode::kQuotaExceeded, rejected.status.code())
+      << rejected.status.str();
+  EXPECT_NE(std::string::npos, rejected.status.message().find("greedy"));
+  greedy[2].expect_untouched();
+
+  Case other({8, 8}, Direction::Forward, 9103);
+  EXPECT_TRUE(serve_as("patient", other).status.ok())
+      << "tenant isolation: another tenant's bucket is full";
+  other.expect_correct();
+
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(1u, s.quota_rejected);
+  EXPECT_EQ(3u, s.submitted) << "the bounced request never entered the queue";
+}
+
+// A transient plan.poison failure is retried through the backoff
+// schedule and the retry is bit-exact: poison fires before execution, so
+// the input is untouched and the retried run equals a clean run of the
+// same cached plan down to the last bit.
+TEST(Chaos, RetriedRequestIsBitExact) {
+  fault::clear();
+  arm("plan.poison:1");
+  BatchExecutor ex;
+  Case poisoned({8, 16}, Direction::Forward, 9200);
+  Request r = poisoned.request();
+  r.retry.max_attempts = 2;
+  r.retry.base_backoff = 0ms;  // zero-sleep test mode
+  const ExecReport rep = ex.submit(std::move(r)).get();
+  ASSERT_TRUE(rep.status.ok()) << rep.status.str();
+  poisoned.expect_correct();
+  fault::clear();
+
+  // A clean run of the same input through the same executor (same cached
+  // plan) must match the retried result exactly.
+  Case clean({8, 16}, Direction::Forward, 9200);  // same seed, same input
+  ASSERT_TRUE(ex.submit(clean.request()).get().status.ok());
+  for (std::size_t i = 0; i < clean.out.size(); ++i) {
+    ASSERT_EQ(clean.out[i], poisoned.out[i]) << "retry not bit-exact at " << i;
+  }
+
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(1u, s.retried);
+  EXPECT_EQ(2u, s.completed);
+  EXPECT_EQ(0u, s.failed) << "the retry absorbed the transient failure";
+}
+
+// Two consecutive unretried failures cross quarantine_after: the plan is
+// evicted from the cache and the next request rebuilds it (at
+// TuneLevel::Estimate) and serves correctly.
+TEST(Chaos, PoisonedPlanQuarantinedAndRebuilt) {
+  fault::clear();
+  arm("plan.poison:2");
+  ServeOptions o;
+  o.quarantine_after = 2;
+  BatchExecutor ex(o);
+  const std::uint64_t invalidations_before =
+      ex.cache().stats().invalidations;
+
+  Case first({8, 8}, Direction::Forward, 9300);
+  Case second({8, 8}, Direction::Forward, 9301);
+  EXPECT_EQ(ErrorCode::kStall, ex.submit(first.request()).get().status.code());
+  EXPECT_EQ(ErrorCode::kStall,
+            ex.submit(second.request()).get().status.code());
+
+  Case rebuilt({8, 8}, Direction::Forward, 9302);
+  const ExecReport rep = ex.submit(rebuilt.request()).get();
+  EXPECT_TRUE(rep.status.ok()) << rep.status.str();
+  rebuilt.expect_correct();
+
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(1u, s.quarantined);
+  EXPECT_EQ(2u, s.failed);
+  EXPECT_EQ(1u, s.completed);
+  EXPECT_GE(ex.cache().stats().invalidations, invalidations_before + 1)
+      << "quarantine must evict the poisoned cache entry";
+  fault::clear();
+}
+
+// Silent output corruption: result.corrupt perturbs the DC bin after a
+// successful execute. The sampled Parseval check catches it, types it
+// kDataCorrupt, quarantines the plan, and the rebuilt plan serves the
+// next request correctly.
+TEST(Chaos, CorruptResultCaughtAndQuarantined) {
+  fault::clear();
+  arm("result.corrupt:1");
+  ServeOptions o;
+  o.integrity_fraction = 1.0;  // check every request
+  BatchExecutor ex(o);
+
+  Case corrupted({8, 8}, Direction::Forward, 9400);
+  const ExecReport rep = ex.submit(corrupted.request()).get();
+  EXPECT_EQ(ErrorCode::kDataCorrupt, rep.status.code()) << rep.status.str();
+  EXPECT_NE(std::string::npos, rep.status.message().find("Parseval"))
+      << rep.status.str();
+  fault::clear();
+
+  Case healthy({8, 8}, Direction::Forward, 9401);
+  EXPECT_TRUE(ex.submit(healthy.request()).get().status.ok());
+  healthy.expect_correct();
+
+  const ExecStats s = ex.stats();
+  EXPECT_GE(s.integrity_checked, 2u);
+  EXPECT_EQ(1u, s.integrity_failed);
+  EXPECT_EQ(1u, s.quarantined);
+  EXPECT_EQ(1u, s.failed);
+  EXPECT_GE(ex.cache().stats().invalidations, 1u);
+}
+
+// Inverse transforms use the normalized Parseval identity — a corrupted
+// inverse result must be caught the same way.
+TEST(Chaos, CorruptInverseResultCaughtToo) {
+  fault::clear();
+  arm("result.corrupt:1");
+  ServeOptions o;
+  o.integrity_fraction = 1.0;
+  BatchExecutor ex(o);
+  Case corrupted({4, 4, 4}, Direction::Inverse, 9450);
+  EXPECT_EQ(ErrorCode::kDataCorrupt,
+            ex.submit(corrupted.request()).get().status.code());
+  fault::clear();
+}
+
+// A deep batch backlog must not starve interactive traffic: with the
+// documented anti-starvation weave (limit=2), every interactive request
+// completes within the first few pops even though batch work was queued
+// first. max_batch=1 makes the completion order the pop order; the huge
+// CoDel target keeps shedding out of the picture.
+TEST(Chaos, InteractiveNeverStarvedBehindBatchBacklog) {
+  ServeOptions o;
+  o.start_paused = true;
+  o.max_batch = 1;
+  o.admission.batch_starvation_limit = 2;
+  o.admission.codel_target = std::chrono::seconds(10);
+  BatchExecutor ex(o);
+  std::vector<Case> cases;
+  std::vector<std::future<ExecReport>> futures;
+  for (int i = 0; i < 9; ++i) {
+    cases.emplace_back(std::vector<idx_t>{8, 8}, Direction::Forward,
+                       static_cast<unsigned>(9500 + i));
+  }
+  for (int i = 0; i < 6; ++i) {  // the backlog lands first
+    Request r = cases[static_cast<std::size_t>(i)].request();
+    r.lane = Lane::kBatch;
+    futures.push_back(ex.submit(std::move(r)));
+  }
+  for (int i = 6; i < 9; ++i) {
+    futures.push_back(ex.submit(cases[static_cast<std::size_t>(i)].request()));
+  }
+  ex.resume();
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  for (const Case& c : cases) c.expect_correct();
+
+  const ExecStats s = ex.stats();
+  ASSERT_EQ(9u, s.completion_order.size());
+  std::string order;
+  for (int lane : s.completion_order) {
+    order += lane == static_cast<int>(Lane::kInteractive) ? 'I' : 'B';
+  }
+  EXPECT_EQ("IIBIBBBBB", order)
+      << "interactive first, batch woven in after the starvation limit";
+  // The per-lane queue-wait histograms see every request of their lane.
+  EXPECT_EQ(3u, s.lane_queue_wait[static_cast<int>(Lane::kInteractive)].count);
+  EXPECT_EQ(6u, s.lane_queue_wait[static_cast<int>(Lane::kBatch)].count);
+}
+
+// exec.slow_batch=<ms> synthetically ages the running batch past
+// slow_batch_after and scans inline: the heartbeat must flag exactly one
+// slow batch — deterministically, with no real stall and no sleeps.
+TEST(Chaos, SlowBatchFlaggedByWatchdog) {
+  fault::clear();
+  arm("exec.slow_batch=5000");
+  ServeOptions o;
+  o.slow_batch_after = 1000ms;
+  BatchExecutor ex(o);
+  Case c({8, 8}, Direction::Forward, 9600);
+  EXPECT_TRUE(ex.submit(c.request()).get().status.ok());
+  c.expect_correct();
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(1u, s.slow_batches);
+  EXPECT_GE(s.watchdog_scans, 1u);
+  fault::clear();
+}
+
+// The acceptance scenario: more producers than queue capacity, all four
+// exec fault families armed at once, integrity checking on every result
+// and retries enabled. Every future must resolve (no deadlock), every
+// non-ok outcome must be typed, every ok outcome must be correct, and
+// the stats ledger must balance. Afterwards the service still serves.
+TEST(Chaos, CombinedChaosAcceptance) {
+  fault::clear();
+  arm("exec.shed@1:2;plan.poison@4:2;result.corrupt@8:2;exec.slow_batch=5000");
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 8;
+  ServeOptions o;
+  o.queue_capacity = 8;  // smaller than the offered load: queue-full paths
+  o.max_batch = 4;
+  // Sheds in this test come from the injected fault only: a sky-high
+  // CoDel target keeps the real control law from adding its own (which
+  // it legitimately would under sanitizer scheduling delays).
+  o.admission.codel_target = std::chrono::seconds(10);
+  o.integrity_fraction = 1.0;
+  o.watchdog = true;
+  o.watchdog_interval = 10ms;
+  BatchExecutor ex(o);
+
+  std::vector<std::vector<Case>> cases(kProducers);
+  std::vector<std::thread> producers;
+  std::vector<int> untyped(kProducers, 0);
+  std::vector<int> wrong(kProducers, 0);
+  for (int p = 0; p < kProducers; ++p) {
+    cases[static_cast<std::size_t>(p)].reserve(kPerProducer);
+    for (int i = 0; i < kPerProducer; ++i) {
+      cases[static_cast<std::size_t>(p)].emplace_back(
+          std::vector<idx_t>{8, 8},
+          i % 2 ? Direction::Inverse : Direction::Forward,
+          static_cast<unsigned>(9700 + p * 100 + i));
+    }
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::future<ExecReport>> futures;
+      for (Case& c : cases[static_cast<std::size_t>(p)]) {
+        Request r = c.request();
+        r.lane = (p % 2) ? Lane::kBatch : Lane::kInteractive;
+        r.retry.max_attempts = 2;
+        r.retry.base_backoff = 0ms;
+        futures.push_back(ex.submit(std::move(r)));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const ExecReport rep = futures[i].get();
+        const Case& c = cases[static_cast<std::size_t>(p)][i];
+        switch (rep.status.code()) {
+          case ErrorCode::kOk:
+            if (max_err(c.want, c.out) >=
+                fft_tol(static_cast<double>(c.want.size()))) {
+              ++wrong[static_cast<std::size_t>(p)];
+            }
+            break;
+          case ErrorCode::kQueueFull:    // backpressure
+          case ErrorCode::kOverloaded:   // injected shed
+          case ErrorCode::kQuotaExceeded:
+          case ErrorCode::kTimeout:
+          case ErrorCode::kStall:        // poison past its retry budget
+          case ErrorCode::kDataCorrupt:  // caught corruption
+            break;  // typed, expected under chaos
+          default:
+            ++untyped[static_cast<std::size_t>(p)];
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  fault::clear();
+
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(0, untyped[static_cast<std::size_t>(p)]) << "producer " << p;
+    EXPECT_EQ(0, wrong[static_cast<std::size_t>(p)]) << "producer " << p;
+  }
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(2u, s.shed);
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.shed + s.timed_out)
+      << "every admitted request must be accounted for exactly once";
+  // >= 1, not == 1: a sanitizer-stalled batch may legitimately trip the
+  // real heartbeat on top of the injected one.
+  EXPECT_GE(s.slow_batches, 1u);
+
+  // The storm is over; the service still serves, correctly.
+  Case after({8, 8}, Direction::Forward, 9999);
+  EXPECT_TRUE(ex.submit(after.request()).get().status.ok());
+  after.expect_correct();
+}
+
+}  // namespace
+}  // namespace bwfft::exec

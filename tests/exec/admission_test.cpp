@@ -1,0 +1,174 @@
+// Admission layer — token buckets, CoDel shedding, retry backoff and
+// the watchdog drift test. Every control law here is time-fed by the
+// caller, so the tests drive them with synthetic steady-clock
+// nanoseconds and zero sleeps.
+#include "exec/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+
+namespace bwfft::exec {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::uint64_t kMs = 1'000'000;  // ns per millisecond
+
+TEST(TokenBucket, BurstThenDryThenRefill) {
+  TokenBucket b(/*rate_per_sec=*/10.0, /*burst=*/3.0, /*now_ns=*/0);
+  // The full burst is available instantly.
+  EXPECT_TRUE(b.try_acquire(0));
+  EXPECT_TRUE(b.try_acquire(0));
+  EXPECT_TRUE(b.try_acquire(0));
+  EXPECT_FALSE(b.try_acquire(0)) << "burst exhausted";
+  // 10 tokens/s => one token every 100ms. 50ms in: still dry.
+  EXPECT_FALSE(b.try_acquire(50 * kMs));
+  // 100ms in: exactly one token has dripped back.
+  EXPECT_TRUE(b.try_acquire(100 * kMs));
+  EXPECT_FALSE(b.try_acquire(100 * kMs));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket b(1000.0, 2.0, 0);
+  EXPECT_TRUE(b.try_acquire(0));
+  EXPECT_TRUE(b.try_acquire(0));
+  // A long idle period refills to the cap, not beyond it.
+  const std::uint64_t later = 3600ULL * 1'000'000'000ULL;
+  EXPECT_TRUE(b.try_acquire(later));
+  EXPECT_TRUE(b.try_acquire(later));
+  EXPECT_FALSE(b.try_acquire(later)) << "burst is the ceiling";
+}
+
+TEST(TokenBucket, TimeGoingBackwardsDoesNotRefill) {
+  TokenBucket b(1000.0, 1.0, 100 * kMs);
+  EXPECT_TRUE(b.try_acquire(100 * kMs));
+  // A caller feeding a stale timestamp must not mint tokens.
+  EXPECT_FALSE(b.try_acquire(50 * kMs));
+}
+
+TEST(AdmissionController, QuotaRateZeroAdmitsEveryone) {
+  AdmissionOptions o;  // quota_rate = 0
+  AdmissionController ac(o);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ac.admit("greedy", 0).ok());
+  }
+}
+
+TEST(AdmissionController, TenantsAreIsolated) {
+  AdmissionOptions o;
+  o.quota_rate = 1.0;
+  o.quota_burst = 2.0;
+  AdmissionController ac(o);
+  EXPECT_TRUE(ac.admit("a", 0).ok());
+  EXPECT_TRUE(ac.admit("a", 0).ok());
+  const Status rejected = ac.admit("a", 0);
+  EXPECT_EQ(ErrorCode::kQuotaExceeded, rejected.code());
+  EXPECT_NE(std::string::npos, rejected.message().find("'a'"))
+      << "the rejection names the tenant: " << rejected.str();
+  // Tenant b has its own bucket, untouched by a's burst.
+  EXPECT_TRUE(ac.admit("b", 0).ok());
+  EXPECT_TRUE(ac.admit("b", 0).ok());
+  EXPECT_EQ(ErrorCode::kQuotaExceeded, ac.admit("b", 0).code());
+  // a recovers after a second (rate = 1/s).
+  EXPECT_TRUE(ac.admit("a", 1'000 * kMs).ok());
+}
+
+TEST(CoDel, ShortBurstDrainsWithoutShedding) {
+  CoDelState codel(50ms, 100ms);
+  // Sojourn above target, but the delay recovers before a full interval
+  // elapses: no request is shed.
+  EXPECT_FALSE(codel.should_shed(0, 60 * kMs));        // arms the timer
+  EXPECT_FALSE(codel.should_shed(50 * kMs, 70 * kMs)); // still in grace
+  EXPECT_FALSE(codel.should_shed(90 * kMs, 10 * kMs)); // recovered: disarm
+  EXPECT_FALSE(codel.should_shed(200 * kMs, 60 * kMs)) << "timer re-arms";
+  EXPECT_FALSE(codel.dropping());
+  EXPECT_EQ(0u, codel.drop_count());
+}
+
+TEST(CoDel, StandingQueueTriggersSheddingAfterInterval) {
+  CoDelState codel(50ms, 100ms);
+  EXPECT_FALSE(codel.should_shed(0, 60 * kMs));          // arm at t=0
+  EXPECT_FALSE(codel.should_shed(99 * kMs, 80 * kMs));   // interval not up
+  EXPECT_TRUE(codel.should_shed(100 * kMs, 80 * kMs))    // interval up: shed
+      << "a full interval above target starts dropping";
+  EXPECT_TRUE(codel.dropping());
+  EXPECT_EQ(1u, codel.drop_count());
+}
+
+TEST(CoDel, ControlLawTightensAsSqrtCount) {
+  CoDelState codel(50ms, 100ms);
+  ASSERT_FALSE(codel.should_shed(0, 60 * kMs));
+  ASSERT_TRUE(codel.should_shed(100 * kMs, 80 * kMs));  // drop 1 at t=100
+  // Next drop is scheduled interval/sqrt(1) = 100ms later (t=200).
+  EXPECT_FALSE(codel.should_shed(150 * kMs, 80 * kMs));
+  EXPECT_TRUE(codel.should_shed(200 * kMs, 80 * kMs));
+  EXPECT_EQ(2u, codel.drop_count());
+  // Then interval/sqrt(2) ~ 70.7ms later (t ~ 270.7).
+  EXPECT_FALSE(codel.should_shed(265 * kMs, 80 * kMs));
+  EXPECT_TRUE(codel.should_shed(271 * kMs, 80 * kMs));
+  EXPECT_EQ(3u, codel.drop_count());
+  // Recovery exits the dropping state and resets the machinery.
+  EXPECT_FALSE(codel.should_shed(300 * kMs, 5 * kMs));
+  EXPECT_FALSE(codel.dropping());
+}
+
+TEST(RetryBackoff, ExponentialFromBaseCappedAtMax) {
+  RetryPolicy p;
+  p.base_backoff = 10ms;
+  p.max_backoff = 55ms;
+  // Attempt 2 (first retry): base .. 1.5*base with jitter in [0, b/2].
+  const auto b2 = retry_backoff(p, 2, 42);
+  EXPECT_GE(b2, 10ms);
+  EXPECT_LE(b2, 15ms);
+  const auto b3 = retry_backoff(p, 3, 42);  // 20ms + jitter
+  EXPECT_GE(b3, 20ms);
+  EXPECT_LE(b3, 30ms);
+  // Attempt 5 would be 80ms: capped at max (jitter applies to the cap).
+  const auto b5 = retry_backoff(p, 5, 42);
+  EXPECT_GE(b5, 55ms);
+  EXPECT_LE(b5, 82500us);
+  // A huge attempt number must not overflow the shift.
+  const auto b99 = retry_backoff(p, 99, 42);
+  EXPECT_GE(b99, 55ms);
+  EXPECT_LE(b99, 82500us);
+}
+
+TEST(RetryBackoff, DeterministicPerSeedDecorrelatedAcrossSeeds) {
+  RetryPolicy p;
+  p.base_backoff = 10ms;
+  p.max_backoff = 100ms;
+  EXPECT_EQ(retry_backoff(p, 2, 7), retry_backoff(p, 2, 7))
+      << "same seed, same schedule — reproducible tests";
+  std::set<std::chrono::nanoseconds::rep> seen;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    seen.insert(retry_backoff(p, 2, seed).count());
+  }
+  EXPECT_GT(seen.size(), 4u) << "jitter must decorrelate seeds";
+}
+
+TEST(RetryBackoff, ZeroBaseMeansZeroSleep) {
+  RetryPolicy p;
+  p.base_backoff = 0ns;
+  for (int attempt = 2; attempt < 8; ++attempt) {
+    EXPECT_EQ(0ns, retry_backoff(p, attempt, 123u + attempt));
+  }
+}
+
+TEST(LatencyDrift, FiresOnlyAboveFactorTimesBaseline) {
+  LatencyHistogram h;
+  EXPECT_FALSE(latency_drift(h, 1000, 8.0)) << "empty histogram never drifts";
+  for (int i = 0; i < 100; ++i) h.add(1000);
+  EXPECT_FALSE(latency_drift(h, 0, 8.0)) << "no baseline, no drift";
+  EXPECT_FALSE(latency_drift(h, 1000, 8.0)) << "p99 ~ baseline";
+  // Shift the tail: p99 lands in the 2^17 bucket (~131us), far above
+  // 8 * 1000ns.
+  for (int i = 0; i < 100; ++i) h.add(100'000);
+  EXPECT_TRUE(latency_drift(h, 1000, 8.0));
+  EXPECT_FALSE(latency_drift(h, 1000, 1'000'000.0))
+      << "a generous factor tolerates the same tail";
+}
+
+}  // namespace
+}  // namespace bwfft::exec

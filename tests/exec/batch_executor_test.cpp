@@ -344,6 +344,52 @@ TEST(BatchExecutor, WorkerLostFaultDegradesPlanButServiceContinues) {
   fault::reset_stats();
 }
 
+// Satellite (c) of ISSUE-9: a paused executor accumulates a
+// mixed-priority backlog; on resume it must drain in the documented
+// LaneQueue order — interactive first, one batch item woven in after
+// every `batch_starvation_limit` interactive pops. max_batch = 1 makes
+// the completion order equal the pop order (no coalescing reorder), and
+// a sky-high CoDel target keeps shedding out of the picture.
+TEST(BatchExecutor, PausedMixedBacklogDrainsInDocumentedLaneOrder) {
+  ServeOptions o;
+  o.start_paused = true;
+  o.max_batch = 1;
+  o.admission.batch_starvation_limit = 2;
+  o.admission.codel_target = std::chrono::seconds(10);
+  BatchExecutor ex(o);
+
+  std::vector<Case> cases;
+  for (int i = 0; i < 8; ++i) {
+    cases.emplace_back(std::vector<idx_t>{8, 8}, Direction::Forward,
+                       static_cast<unsigned>(7400 + i));
+  }
+  std::vector<std::future<ExecReport>> futures;
+  // Batch submits land first; interactive still drains ahead of them.
+  for (int i = 0; i < 3; ++i) {
+    Request r = cases[static_cast<std::size_t>(i)].request();
+    r.lane = Lane::kBatch;
+    futures.push_back(ex.submit(std::move(r)));
+  }
+  for (int i = 3; i < 8; ++i) {
+    futures.push_back(ex.submit(cases[static_cast<std::size_t>(i)].request()));
+  }
+  ex.resume();
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+  for (const Case& c : cases) c.expect_correct();
+
+  const ExecStats s = ex.stats();
+  EXPECT_EQ(5u, s.submitted_by_lane[0]);
+  EXPECT_EQ(3u, s.submitted_by_lane[1]);
+  EXPECT_EQ(5u, s.completed_by_lane[0]);
+  EXPECT_EQ(3u, s.completed_by_lane[1]);
+  ASSERT_EQ(8u, s.completion_order.size());
+  std::string order;
+  for (int lane : s.completion_order) {
+    order += lane == static_cast<int>(Lane::kInteractive) ? 'I' : 'B';
+  }
+  EXPECT_EQ("IIBIIBIB", order) << "anti-starvation weave (limit=2)";
+}
+
 TEST(LatencyHistogram, QuantilesBracketAddedSamples) {
   LatencyHistogram h;
   EXPECT_EQ(0u, h.quantile_ns(0.5));

@@ -1,4 +1,4 @@
-// BoundedQueue — the exec service's MPMC submission channel.
+// BoundedQueue / LaneQueue — the exec service's MPMC submission channels.
 #include "exec/queue.h"
 
 #include <gtest/gtest.h>
@@ -17,13 +17,14 @@ using namespace std::chrono_literals;
 TEST(BoundedQueue, FifoOrderAndCapacity) {
   BoundedQueue<int> q(3);
   EXPECT_EQ(3u, q.capacity());
-  EXPECT_TRUE(q.try_push(1));
-  EXPECT_TRUE(q.try_push(2));
-  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(1));
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(2));
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(3));
   EXPECT_EQ(3u, q.size());
-  EXPECT_FALSE(q.try_push(4)) << "push into a full queue must bounce";
+  EXPECT_EQ(PushResult::kFull, q.try_push(4))
+      << "push into a full queue must bounce";
   EXPECT_EQ(1, q.pop().value());
-  EXPECT_TRUE(q.try_push(4)) << "pop must free a slot";
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(4)) << "pop must free a slot";
   EXPECT_EQ(2, q.pop().value());
   EXPECT_EQ(3, q.pop().value());
   EXPECT_EQ(4, q.pop().value());
@@ -40,16 +41,17 @@ TEST(BoundedQueue, TryPopEmptyReturnsNothing) {
 
 TEST(BoundedQueue, PushUntilTimesOutOnFullQueue) {
   BoundedQueue<int> q(1);
-  ASSERT_TRUE(q.try_push(1));
+  ASSERT_EQ(PushResult::kAccepted, q.try_push(1));
   const auto t0 = std::chrono::steady_clock::now();
-  EXPECT_FALSE(q.push_until(2, t0 + 20ms));
+  EXPECT_EQ(PushResult::kFull, q.push_until(2, t0 + 20ms));
   EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
   // Space opening up lets a waiting push through.
   std::thread popper([&] {
     std::this_thread::sleep_for(10ms);
     q.pop();
   });
-  EXPECT_TRUE(q.push_until(3, std::chrono::steady_clock::now() + 5s));
+  EXPECT_EQ(PushResult::kAccepted,
+            q.push_until(3, std::chrono::steady_clock::now() + 5s));
   popper.join();
   EXPECT_EQ(3, q.pop().value());
 }
@@ -59,13 +61,34 @@ TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
   q.try_push(1);
   q.try_push(2);
   q.close();
-  EXPECT_FALSE(q.try_push(3)) << "closed queue rejects pushes";
-  EXPECT_FALSE(q.push_wait(3)) << "even blocking ones";
+  EXPECT_EQ(PushResult::kClosed, q.try_push(3))
+      << "closed queue rejects pushes";
+  EXPECT_EQ(PushResult::kClosed, q.push_wait(3)) << "even blocking ones";
   // Items queued before close stay poppable (graceful drain)...
   EXPECT_EQ(1, q.pop().value());
   EXPECT_EQ(2, q.pop().value());
   // ...and the drained, closed queue reports shutdown instead of blocking.
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWhilePushUntilWaitingReportsClosedNotTimeout) {
+  // The ISSUE-9 race fix: a close that lands while push_until is parked
+  // on a full queue must surface as kClosed, never as a spurious kFull —
+  // the state at wake-up is decided under the lock. The closer fires
+  // well before the (generous) deadline, so a kFull here can only mean
+  // the conflated-timeout bug is back.
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(PushResult::kAccepted, q.try_push(1));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(10ms);
+    q.close();
+  });
+  EXPECT_EQ(PushResult::kClosed,
+            q.push_until(2, std::chrono::steady_clock::now() + 60s));
+  closer.join();
+  // Even after the deadline has genuinely passed, closed wins over full.
+  EXPECT_EQ(PushResult::kClosed,
+            q.push_until(3, std::chrono::steady_clock::now() - 1ms));
 }
 
 TEST(BoundedQueue, CloseWakesBlockedConsumers) {
@@ -101,7 +124,7 @@ TEST(BoundedQueue, ManyProducersManyConsumersConserveItems) {
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(q.push_wait(p * kPerProducer + i));
+        ASSERT_EQ(PushResult::kAccepted, q.push_wait(p * kPerProducer + i));
       }
     });
   }
@@ -118,6 +141,88 @@ TEST(BoundedQueue, ManyProducersManyConsumersConserveItems) {
   long long want = 0;
   for (int i = 0; i < total; ++i) want += i;
   EXPECT_EQ(want, consumed_sum.load());
+}
+
+// ---------------------------------------------------------------------------
+// LaneQueue
+
+TEST(LaneQueue, InteractiveDrainsFirst) {
+  LaneQueue<int> q(8, 0, 100);  // starvation limit high: pure priority
+  q.try_push(Lane::kBatch, 100);
+  q.try_push(Lane::kBatch, 101);
+  q.try_push(Lane::kInteractive, 1);
+  q.try_push(Lane::kInteractive, 2);
+  EXPECT_EQ(1, q.pop().value());
+  EXPECT_EQ(2, q.pop().value());
+  EXPECT_EQ(100, q.pop().value());
+  EXPECT_EQ(101, q.pop().value());
+}
+
+TEST(LaneQueue, AntiStarvationWeavesBatchItems) {
+  // limit = 2: after two consecutive interactive pops one batch item is
+  // drained. With 5 interactive + 3 batch queued the documented order is
+  // I I B I I B I B.
+  LaneQueue<char> q(16, 0, 2);
+  for (int i = 0; i < 5; ++i) q.try_push(Lane::kInteractive, 'I');
+  for (int i = 0; i < 3; ++i) q.try_push(Lane::kBatch, 'B');
+  std::string order;
+  while (auto v = q.try_pop()) order += *v;
+  EXPECT_EQ("IIBIIBIB", order);
+}
+
+TEST(LaneQueue, InteractiveReserveKeepsBatchOut) {
+  // capacity 4, reserve 2: batch may hold at most 2 slots; interactive
+  // may fill the whole queue.
+  LaneQueue<int> q(4, 2, 2);
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(Lane::kBatch, 1));
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(Lane::kBatch, 2));
+  EXPECT_EQ(PushResult::kFull, q.try_push(Lane::kBatch, 3))
+      << "batch must not take the reserved slots";
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(Lane::kInteractive, 4));
+  EXPECT_EQ(PushResult::kAccepted, q.try_push(Lane::kInteractive, 5));
+  EXPECT_EQ(PushResult::kFull, q.try_push(Lane::kInteractive, 6))
+      << "the shared capacity still bounds interactive";
+  EXPECT_EQ(4u, q.size());
+  EXPECT_EQ(2u, q.size(Lane::kBatch));
+  EXPECT_EQ(2u, q.size(Lane::kInteractive));
+}
+
+TEST(LaneQueue, RequeueBypassesCapacityButNotClose) {
+  LaneQueue<int> q(1, 0, 2);
+  ASSERT_EQ(PushResult::kAccepted, q.try_push(Lane::kInteractive, 1));
+  EXPECT_EQ(PushResult::kFull, q.try_push(Lane::kInteractive, 2));
+  // A retry re-enters a full queue (it must not be lost to backpressure).
+  EXPECT_TRUE(q.requeue(Lane::kInteractive, 2));
+  EXPECT_EQ(2u, q.size());
+  q.close();
+  EXPECT_FALSE(q.requeue(Lane::kInteractive, 3))
+      << "retries do not survive shutdown";
+  EXPECT_EQ(1, q.pop().value());
+  EXPECT_EQ(2, q.pop().value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(LaneQueue, PushUntilCloseRaceReportsClosed) {
+  LaneQueue<int> q(1, 0, 2);
+  ASSERT_EQ(PushResult::kAccepted, q.try_push(Lane::kBatch, 1));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(10ms);
+    q.close();
+  });
+  EXPECT_EQ(PushResult::kClosed,
+            q.push_until(Lane::kBatch, 2, Clock::now() + 60s));
+  closer.join();
+}
+
+TEST(LaneQueue, CloseDrainsBothLanes) {
+  LaneQueue<int> q(4, 0, 2);
+  q.try_push(Lane::kBatch, 10);
+  q.try_push(Lane::kInteractive, 1);
+  q.close();
+  EXPECT_EQ(PushResult::kClosed, q.try_push(Lane::kInteractive, 2));
+  EXPECT_EQ(1, q.pop().value());
+  EXPECT_EQ(10, q.pop().value());
+  EXPECT_FALSE(q.pop().has_value());
 }
 
 }  // namespace

@@ -56,7 +56,9 @@ namespace {
                "[--isa auto|scalar|avx2|avx512] [--dispatch] "
                "[--trace out.json] [--tune estimate|measure|exhaustive] "
                "[--wisdom file.json] [--serve] [--requests N] "
-               "[--producers P] [--queue CAP]\n",
+               "[--producers P] [--queue CAP] [--deadline-ms MS] "
+               "[--quota-rate R] [--quota-burst B] [--integrity FRAC] "
+               "[--retries N] [--batch-every N] [--tenants N]\n",
                argv0);
   std::exit(2);
 }
@@ -67,17 +69,30 @@ EngineKind engine_kind(const std::string& s) {
   return kind;
 }
 
+/// A typed rejection is the service shedding load as designed (queue
+/// full, deadline, CoDel shed, quota) — counted and reported, but not an
+/// exit-code failure like a wrong result or an exhausted recovery.
+bool is_typed_rejection(ErrorCode code) {
+  return code == ErrorCode::kQueueFull || code == ErrorCode::kTimeout ||
+         code == ErrorCode::kOverloaded || code == ErrorCode::kQuotaExceeded;
+}
+
 /// --serve: run the configured transform as a service workload —
 /// `producers` threads submit `requests` requests to one BatchExecutor
-/// (persistent team, shared plan cache, bounded queue) and the
-/// throughput/latency/batching numbers are printed. Non-zero on any
-/// failed request.
+/// (persistent team, shared plan cache, bounded two-lane queue, optional
+/// quotas / deadlines / retries / integrity sampling) and the
+/// throughput/latency/overload-control numbers are printed. Non-zero on
+/// any hard-failed request (typed rejections are tallied, not fatal).
 int run_serve(const cli::Options& a, const FftOptions& base_opts,
               Direction dir, idx_t total) {
   exec::ServeOptions sopts;
   sopts.threads = a.threads;
   sopts.queue_capacity = static_cast<std::size_t>(a.queue_cap);
   sopts.plan = base_opts;
+  sopts.admission.quota_rate = a.quota_rate;
+  sopts.admission.quota_burst = a.quota_burst;
+  sopts.integrity_fraction = a.integrity;
+  sopts.watchdog = true;
   exec::BatchExecutor executor(sopts);
 
   const cvec seed = random_cvec(total);
@@ -87,9 +102,12 @@ int run_serve(const cli::Options& a, const FftOptions& base_opts,
     outs.emplace_back(static_cast<std::size_t>(total));
   }
 
-  std::printf("serve: %d requests, %d producers, queue=%d\n", a.requests,
-              a.producers, a.queue_cap);
-  int failed = 0;
+  std::printf(
+      "serve: %d requests, %d producers, queue=%d, deadline=%d ms, "
+      "quota=%.1f/s burst=%.0f, integrity=%.2f, retries=%d\n",
+      a.requests, a.producers, a.queue_cap, a.deadline_ms, a.quota_rate,
+      a.quota_burst, a.integrity, a.retries);
+  int failed = 0, rejected = 0;
   std::mutex fail_mu;
   Timer wall;
   std::vector<std::thread> tt;
@@ -102,12 +120,24 @@ int run_serve(const cli::Options& a, const FftOptions& base_opts,
         req.dir = dir;
         req.in = ins[static_cast<std::size_t>(p)].data();
         req.out = outs[static_cast<std::size_t>(p)].data();
+        if (a.deadline_ms > 0) {
+          req.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(a.deadline_ms);
+        }
+        if (a.batch_every > 0 && r % a.batch_every == 0) {
+          req.lane = exec::Lane::kBatch;
+        }
+        req.tenant = "tenant-" + std::to_string(p % a.tenants);
+        req.retry.max_attempts = a.retries;
         pending.push_back(executor.submit(std::move(req)));
       }
       for (auto& f : pending) {
         const ExecReport rep = f.get();
-        if (!rep.status.ok()) {
-          std::lock_guard<std::mutex> lk(fail_mu);
+        if (rep.status.ok()) continue;
+        std::lock_guard<std::mutex> lk(fail_mu);
+        if (is_typed_rejection(rep.status.code())) {
+          ++rejected;
+        } else {
           ++failed;
           std::fprintf(stderr, "serve: request failed: %s\n",
                        rep.status.str().c_str());
@@ -135,6 +165,38 @@ int run_serve(const cli::Options& a, const FftOptions& base_opts,
       st.max_batch_occupancy, st.peak_queue_depth,
       static_cast<unsigned long long>(st.completed),
       static_cast<unsigned long long>(st.failed));
+  std::printf(
+      "serve: rejected_full=%llu timed_out=%llu shed=%llu quota=%llu "
+      "retried=%llu quarantined=%llu\n",
+      static_cast<unsigned long long>(st.rejected_full),
+      static_cast<unsigned long long>(st.timed_out),
+      static_cast<unsigned long long>(st.shed),
+      static_cast<unsigned long long>(st.quota_rejected),
+      static_cast<unsigned long long>(st.retried),
+      static_cast<unsigned long long>(st.quarantined));
+  std::printf(
+      "serve: integrity checked=%llu failed=%llu; watchdog scans=%llu "
+      "slow_batches=%llu drift_events=%llu\n",
+      static_cast<unsigned long long>(st.integrity_checked),
+      static_cast<unsigned long long>(st.integrity_failed),
+      static_cast<unsigned long long>(st.watchdog_scans),
+      static_cast<unsigned long long>(st.slow_batches),
+      static_cast<unsigned long long>(st.latency_drift_events));
+  for (std::size_t l = 0; l < exec::kLaneCount; ++l) {
+    if (st.submitted_by_lane[l] == 0) continue;
+    std::printf(
+        "serve: lane %-11s submitted=%llu completed=%llu wait "
+        "p50=%.3f ms p99=%.3f ms\n",
+        exec::lane_name(static_cast<exec::Lane>(static_cast<int>(l))),
+        static_cast<unsigned long long>(st.submitted_by_lane[l]),
+        static_cast<unsigned long long>(st.completed_by_lane[l]),
+        static_cast<double>(st.lane_queue_wait[l].quantile_ns(0.50)) / 1e6,
+        static_cast<double>(st.lane_queue_wait[l].quantile_ns(0.99)) / 1e6);
+  }
+  if (rejected > 0) {
+    std::printf("serve: %d requests rejected with typed backpressure\n",
+                rejected);
+  }
   return failed == 0 ? 0 : 1;
 }
 

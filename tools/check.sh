@@ -10,6 +10,10 @@
 #                               # suite once per BWFFT_FAULTS fault family
 #   ./tools/check.sh lint       # static checks: bwfft_lint sweep over the
 #                               # tuner grid + seeded-defect assertions
+#   ./tools/check.sh chaos      # exec-service fault-family sweep (shed /
+#                               # poison / corrupt / slow-batch) under
+#                               # ASan+UBSan, then TSan; writes a chaos
+#                               # report for the CI artifact
 #   ./tools/check.sh ci         # the hosted-CI chain: quick, lint, asan, tsan
 #
 # Build trees live under BWFFT_BUILD_DIR (default: the repo root), one per
@@ -26,7 +30,7 @@
 #   2   usage error (unknown mode)
 #   10  asan failed        11  tsan failed
 #   12  quick failed       13  faults failed
-#   14  lint failed
+#   14  lint failed        15  chaos failed
 #
 # The quick configuration is the fast pre-push gate: an uninstrumented
 # RelWithDebInfo build running `ctest -L tier1`, then a bench smoke —
@@ -48,7 +52,7 @@ BUILD_BASE="${BWFFT_BUILD_DIR:-$ROOT}"
 JOBS="${JOBS:-$(nproc)}"
 
 usage() {
-  echo "usage: $0 [asan|tsan|quick|faults|lint|ci ...]" >&2
+  echo "usage: $0 [asan|tsan|quick|faults|lint|chaos|ci ...]" >&2
   exit 2
 }
 
@@ -59,6 +63,7 @@ exit_code_for() {
     quick|--quick) echo 12 ;;
     faults) echo 13 ;;
     lint) echo 14 ;;
+    chaos) echo 15 ;;
     *) echo 2 ;;
   esac
 }
@@ -147,6 +152,45 @@ run_faults() {
   echo "=== [faults] clean ==="
 }
 
+run_chaos() {
+  # The overload-resilience acceptance sweep (docs/INTERNALS.md §14):
+  # `ctest -L chaos` drives every exec fault family — typed sheds,
+  # per-tenant quota bounces, bit-exact retries, quarantine + rebuild of
+  # poisoned plans, Parseval-caught corruption, the synthetic slow-batch
+  # heartbeat and the combined producers-over-capacity storm — first
+  # under ASan+UBSan (memory safety across the shed/retry/requeue paths),
+  # then under TSan (the dispatcher, watchdog and producers race by
+  # design). Both legs reuse the standing sanitizer trees. The full ctest
+  # output lands in chaos_report.txt for the CI artifact.
+  local report="$BUILD_BASE/chaos_report.txt"
+  mkdir -p "$BUILD_BASE"
+  : > "$report"
+  local leg build sanitize
+  for leg in asan tsan; do
+    build="$BUILD_BASE/build-$leg"
+    case "$leg" in
+      asan) sanitize="address;undefined" ;;
+      tsan) sanitize="thread" ;;
+    esac
+    echo "=== [chaos/$leg] configure: -DBWFFT_SANITIZE=$sanitize ==="
+    cmake -B "$build" -S "$ROOT" -DBWFFT_SANITIZE="$sanitize" \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    echo "=== [chaos/$leg] build ==="
+    cmake --build "$build" -j "$JOBS"
+    echo "=== [chaos/$leg] ctest -L chaos ==="
+    (
+      cd "$build"
+      export ASAN_OPTIONS="abort_on_error=1:detect_stack_use_after_return=1"
+      export LSAN_OPTIONS="suppressions=$ROOT/suppressions/asan.supp"
+      export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$ROOT/suppressions/ubsan.supp"
+      export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$ROOT/suppressions/tsan.supp"
+      echo "--- chaos leg: $leg ---" >> "$report"
+      ctest -L chaos --output-on-failure -j "$JOBS" 2>&1 | tee -a "$report"
+    )
+  done
+  echo "=== [chaos] report: $report ==="
+}
+
 run_lint() {
   local build="$BUILD_BASE/build-quick"
   echo "=== [lint] configure ==="
@@ -181,6 +225,7 @@ if [[ "${1:-}" == "--one" ]]; then
     quick|--quick) run_quick ;;
     faults) run_faults ;;
     lint) run_lint ;;
+    chaos) run_chaos ;;
     *) usage ;;
   esac
   exit 0
@@ -197,9 +242,9 @@ fi
 MODES=()
 for cfg in "${CONFIGS[@]}"; do
   case "$cfg" in
-    asan|tsan|quick|--quick|faults|lint) MODES+=("$cfg") ;;
+    asan|tsan|quick|--quick|faults|lint|chaos) MODES+=("$cfg") ;;
     ci) MODES+=(quick lint asan tsan) ;;
-    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults, lint, ci)" >&2
+    *) echo "unknown config '$cfg' (expected: asan, tsan, quick, faults, lint, chaos, ci)" >&2
        exit 2 ;;
   esac
 done
