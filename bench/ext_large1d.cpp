@@ -21,6 +21,13 @@ using namespace bwfft;
 int main() {
   int shift = 0;
   if (const char* env = std::getenv("BWFFT_EXT_SHIFT")) shift = std::atoi(env);
+  FftOptions four_opts;
+  if (const char* env = std::getenv("BWFFT_EXT_NT")) {
+    four_opts.nontemporal = std::atoi(env) != 0;
+  }
+  if (const char* env = std::getenv("BWFFT_EXT_F1")) {
+    four_opts.factor_n1 = std::atoll(env);
+  }
 
   const double bw = measured_stream_bandwidth_gbs();
   std::printf("Extension: large 1D FFT, double-buffered four-step "
@@ -48,7 +55,7 @@ int main() {
       flat.apply_strided_inplace(in.data(), 1);
       t_dit = std::min(t_dit, t.seconds());
     }
-    DoubleBuffer1d four(n, Direction::Forward, {});
+    DoubleBuffer1d four(n, Direction::Forward, four_opts);
     for (int r = 0; r < 3; ++r) {
       std::copy(original.begin(), original.end(), in.begin());
       Timer t;

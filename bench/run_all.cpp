@@ -1,5 +1,6 @@
-// run_all — sweep the Fig 1 / Fig 9 size grids over every engine and emit
-// the machine-readable BENCH_*.json perf trajectory (benchutil/bench_schema).
+// run_all — sweep the Fig 1 / Fig 9 size grids plus the out-of-LLC 1D
+// four-step grid over every engine and emit the machine-readable
+// BENCH_*.json perf trajectory (benchutil/bench_schema).
 //
 //   run_all [--label NAME] [--out FILE] [--smoke]
 //
@@ -21,6 +22,7 @@
 #include "benchutil/metrics.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "fft/engine.h"
 #include "fft/fft.h"
 #include "obs/obs.h"
 #include "stream/stream.h"
@@ -70,21 +72,32 @@ BenchRow run_case(EngineKind kind, const std::vector<idx_t>& dims,
 
   std::unique_ptr<Fft2d> plan2;
   std::unique_ptr<Fft3d> plan3;
-  if (dims.size() == 2) {
+  std::unique_ptr<MdEngine> plan1;
+  if (dims.size() == 1) {
+    plan1 = make_engine(dims, dir, opts);
+  } else if (dims.size() == 2) {
     plan2 = std::make_unique<Fft2d>(dims[0], dims[1], dir, opts);
   } else {
     plan3 = std::make_unique<Fft3d>(dims[0], dims[1], dims[2], dir, opts);
   }
   auto run_once = [&] {
     std::copy(original.begin(), original.end(), in.begin());
-    if (plan2) {
+    if (plan1) {
+      plan1->execute(in.data(), out.data());
+    } else if (plan2) {
       plan2->execute(in.data(), out.data());
     } else {
       plan3->execute(in.data(), out.data());
     }
   };
 
-  const int reps = kind == EngineKind::Reference ? 1 : 3;
+  // The naive strided DIT (1D Pencil) is the cache-hostile baseline: at
+  // out-of-LLC sizes one execution already takes many seconds, so a
+  // single rep documents it without dominating the sweep's wall clock.
+  const bool slow_baseline =
+      kind == EngineKind::Reference ||
+      (dims.size() == 1 && kind == EngineKind::Pencil);
+  const int reps = slow_baseline ? 1 : 3;
   double best = 1e30;
   for (int r = 0; r < reps; ++r) {
     Timer t;
@@ -101,7 +114,7 @@ BenchRow run_case(EngineKind kind, const std::vector<idx_t>& dims,
   std::vector<obs::Slice> slices;
   obs::CounterSnapshot snap;
   double best_stage_total = 1e30;
-  const int observed_reps = kind == EngineKind::Reference ? 1 : 3;
+  const int observed_reps = slow_baseline ? 1 : 3;
   for (int r = 0; r < observed_reps; ++r) {
     obs::reset_counters();
     obs::start_trace();
@@ -124,13 +137,19 @@ BenchRow run_case(EngineKind kind, const std::vector<idx_t>& dims,
   BenchRow row;
   row.engine = engine_name(kind);
   if (kind == EngineKind::Auto) {
-    row.resolved = plan2 ? plan2->engine_name() : plan3->engine_name();
+    row.resolved = plan1   ? plan1->name()
+                   : plan2 ? plan2->engine_name()
+                           : plan3->engine_name();
   }
   row.dims = dims;
   row.best_seconds = best;
   row.pseudo_gflops = fft_gflops(static_cast<double>(total), best);
-  const double bound = io_bound_seconds(static_cast<double>(total),
-                                        static_cast<int>(dims.size()), bw);
+  // 1D rows roofline against two streaming passes — the four-step
+  // minimum for an out-of-LLC transform (columns+twiddle, then
+  // rows+permute); a one-pass bound is unreachable at these sizes.
+  const int nr_stages = dims.size() == 1 ? 2 : static_cast<int>(dims.size());
+  const double bound =
+      io_bound_seconds(static_cast<double>(total), nr_stages, bw);
   row.pct_of_peak = bound / best * 100.0;
   for (int c = 0; c < obs::kCounterCount; ++c) {
     const auto counter = static_cast<obs::Counter>(c);
@@ -167,8 +186,9 @@ int main(int argc, char** argv) {
   }
 
   // Fig 1 grid: the eight cubes with sides {lo, hi}; Fig 9 grid: the
-  // square/rectangular 2D mix. Smoke mode shrinks both.
-  std::vector<std::vector<idx_t>> grid3, grid2;
+  // square/rectangular 2D mix; 1D grid: the out-of-LLC four-step sizes
+  // (ext_large1d's territory). Smoke mode shrinks all three.
+  std::vector<std::vector<idx_t>> grid3, grid2, grid1;
   const idx_t side_lo = smoke ? 16 : 64, side_hi = smoke ? 32 : 128;
   const idx_t sides[2] = {side_lo, side_hi};
   for (int a = 0; a < 2; ++a)
@@ -176,9 +196,11 @@ int main(int argc, char** argv) {
       for (int c = 0; c < 2; ++c) grid3.push_back({sides[a], sides[b], sides[c]});
   if (smoke) {
     grid2 = {{64, 64}, {64, 128}};
+    grid1 = {{idx_t{1} << 14}, {idx_t{1} << 16}};
   } else {
     grid2 = {{256, 256},   {256, 512},  {512, 512},  {512, 1024},
              {1024, 1024}, {1024, 2048}, {2048, 2048}};
+    for (int lg = 22; lg <= 26; ++lg) grid1.push_back({idx_t{1} << lg});
   }
 
   const EngineKind engines[] = {EngineKind::Reference, EngineKind::Pencil,
@@ -189,9 +211,10 @@ int main(int argc, char** argv) {
   BenchReport report;
   report.label = label;
   report.stream_gbs = measured_stream_bandwidth_gbs();
-  std::printf("run_all: STREAM %.1f GB/s, %zu 3D + %zu 2D sizes -> %s\n",
-              report.stream_gbs, grid3.size(), grid2.size(),
-              out_path.c_str());
+  std::printf(
+      "run_all: STREAM %.1f GB/s, %zu 3D + %zu 2D + %zu 1D sizes -> %s\n",
+      report.stream_gbs, grid3.size(), grid2.size(), grid1.size(),
+      out_path.c_str());
 
   auto sweep = [&](const std::vector<std::vector<idx_t>>& grid) {
     for (const auto& dims : grid) {
@@ -223,6 +246,7 @@ int main(int argc, char** argv) {
   };
   sweep(grid3);
   sweep(grid2);
+  sweep(grid1);
 
   const Json doc = bench_report_to_json(report);
   std::string err;

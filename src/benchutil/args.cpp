@@ -70,9 +70,9 @@ bool parse_dims(const std::string& token, std::vector<idx_t>* out,
     dims.push_back(static_cast<idx_t>(v));
     pos = next + 1;
   }
-  if (dims.size() != 2 && dims.size() != 3) {
+  if (dims.size() > 3) {
     if (err) {
-      *err = "bad --dims '" + token + "': expected 2 or 3 'x'-separated " +
+      *err = "bad --dims '" + token + "': expected 1 to 3 'x'-separated " +
              "dimensions, got " + std::to_string(dims.size());
     }
     return false;

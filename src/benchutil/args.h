@@ -61,8 +61,8 @@ bool parse_int(const std::string& token, long long min_value, long long* out,
 bool parse_double(const std::string& token, double min_value,
                   double max_value, double* out, std::string* err);
 
-/// Strict "KxN" / "KxNxM" dims parser: 2 or 3 'x'-separated tokens, each
-/// a positive integer.
+/// Strict "N" / "KxN" / "KxNxM" dims parser: 1 to 3 'x'-separated
+/// tokens, each a positive integer (one token is a huge-1D transform).
 bool parse_dims(const std::string& token, std::vector<idx_t>* out,
                 std::string* err);
 

@@ -1,5 +1,7 @@
 #include "benchutil/bench_schema.h"
 
+#include <map>
+
 namespace bwfft {
 
 Json bench_report_to_json(const BenchReport& report) {
@@ -89,9 +91,8 @@ bool validate_bench_report(const Json& doc, std::string* err) {
       }
     }
     const Json* dims = row.find("dims");
-    if (!dims || !dims->is_array() ||
-        (dims->size() != 2 && dims->size() != 3)) {
-      return fail(err, where + "'dims' must be an array of 2 or 3 sizes");
+    if (!dims || !dims->is_array() || dims->size() < 1 || dims->size() > 3) {
+      return fail(err, where + "'dims' must be an array of 1 to 3 sizes");
     }
     for (std::size_t d = 0; d < dims->size(); ++d) {
       if (!(*dims)[d].is_number() || (*dims)[d].as_int() < 1) {
@@ -180,6 +181,44 @@ BenchReport bench_report_from_json(const Json& doc) {
     report.rows.push_back(std::move(row));
   }
   return report;
+}
+
+std::string bench_config_key(const BenchRow& row) {
+  std::string key = row.engine;
+  key += " ";
+  for (std::size_t i = 0; i < row.dims.size(); ++i) {
+    key += (i ? "x" : "") + std::to_string(row.dims[i]);
+  }
+  return key;
+}
+
+BenchCheckResult check_bench_regression(const BenchReport& baseline,
+                                        const BenchReport& current,
+                                        double tolerance_pct) {
+  std::map<std::string, double> got;
+  for (const BenchRow& row : current.rows) {
+    // First row wins on a duplicate key — matches the trajectory table.
+    got.emplace(bench_config_key(row), row.pct_of_peak);
+  }
+  BenchCheckResult result;
+  const double keep = 1.0 - tolerance_pct / 100.0;
+  for (const BenchRow& row : baseline.rows) {
+    const std::string key = bench_config_key(row);
+    if (row.pct_of_peak < kBenchCheckFloorPct) {
+      ++result.skipped;
+      continue;
+    }
+    const auto it = got.find(key);
+    if (it == got.end()) {
+      result.regressions.push_back({key, row.pct_of_peak, -1.0});
+      continue;
+    }
+    ++result.compared;
+    if (it->second < row.pct_of_peak * keep) {
+      result.regressions.push_back({key, row.pct_of_peak, it->second});
+    }
+  }
+  return result;
 }
 
 }  // namespace bwfft

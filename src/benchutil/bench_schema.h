@@ -71,4 +71,45 @@ bool validate_bench_report(const Json& doc, std::string* err);
 /// Decode a validated document (call validate_bench_report first).
 BenchReport bench_report_from_json(const Json& doc);
 
+// ---------------------------------------------------------------------------
+// Perf-regression gate (bench_report --check): compare two reports row by
+// row on the (engine, dims) key and flag every configuration whose
+// pct-of-peak dropped by more than the tolerance. pct-of-peak is the
+// compared metric (not wall time) so the gate survives runner-to-runner
+// bandwidth differences: both sides are normalised by their own STREAM
+// roofline.
+
+/// The (engine, dims) configuration key, e.g. "double-buffer 64x64x64".
+/// The `resolved` engine is deliberately not part of the key: an auto row
+/// stays comparable across PRs even when the planner's pick changes.
+std::string bench_config_key(const BenchRow& row);
+
+/// Baseline rows under this pct-of-peak are skipped: near the noise
+/// floor a 50% "regression" is scheduler jitter, not a code change (the
+/// dense reference rows live here by design).
+inline constexpr double kBenchCheckFloorPct = 2.0;
+
+struct BenchCheckIssue {
+  std::string config;
+  double baseline_pct = 0.0;
+  /// Negative when the configuration vanished from the current report.
+  double current_pct = -1.0;
+};
+
+struct BenchCheckResult {
+  std::vector<BenchCheckIssue> regressions;
+  int compared = 0;
+  int skipped = 0;
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Flag every baseline configuration whose current pct-of-peak fell more
+/// than `tolerance_pct` percent below the baseline value (relative drop:
+/// current < baseline * (1 - tolerance/100)), or which is missing from
+/// `current` entirely. Configurations only present in `current` are new
+/// rows and never flagged.
+BenchCheckResult check_bench_regression(const BenchReport& baseline,
+                                        const BenchReport& current,
+                                        double tolerance_pct);
+
 }  // namespace bwfft

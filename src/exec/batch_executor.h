@@ -77,7 +77,9 @@ namespace bwfft::exec {
 /// outlive the future's completion; engines may clobber `in` (the
 /// FFTW_DESTROY_INPUT convention).
 struct Request {
-  std::vector<idx_t> dims;  ///< 2 or 3 entries, slowest first
+  std::vector<idx_t> dims;  ///< 1, 2 or 3 entries, slowest first; a
+                            ///< single entry is a (large) 1D transform
+                            ///< routed through the fft1d/large.h engines
   Direction dir = Direction::Forward;
   cplx* in = nullptr;
   cplx* out = nullptr;

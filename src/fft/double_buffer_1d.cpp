@@ -1,161 +1,15 @@
 #include "fft/double_buffer_1d.h"
 
-#include <cstring>
-
 #include "common/error.h"
-#include "fft/stage.h"
-#include "kernels/twiddle.h"
-#include "layout/stream_copy.h"
-#include "parallel/team_pool.h"
 
 namespace bwfft {
 
-namespace {
-/// Refresh the twiddle recurrence with an exactly computed root every this
-/// many steps, bounding the multiplicative drift to ~64 eps.
-constexpr idx_t kTwiddleRefresh = 64;
-}  // namespace
-
-DoubleBuffer1d::DoubleBuffer1d(idx_t n, Direction dir, const FftOptions& opts)
-    : n_(n), dir_(dir), opts_(opts) {
-  BWFFT_CHECK(is_pow2(n) && n >= 16, "double-buffer 1D needs a power of two >= 16");
-  // Near-square split a <= b, both powers of two.
-  const int t = log2_floor(n_);
-  a_ = idx_t{1} << (t / 2);
-  b_ = n_ / a_;
-  mu_ = std::min(std::min(kMu, a_), b_);
-
-  fft_a_ = std::make_shared<Fft1d>(a_, dir_, opts_.isa);
-  fft_b_ = std::make_shared<Fft1d>(b_, dir_, opts_.isa);
-
-  const int p = opts_.threads > 0 ? opts_.threads : opts_.topo.total_threads();
-  const int pc = opts_.compute_threads >= 0 ? opts_.compute_threads
-                                            : (p <= 1 ? p : p / 2);
-  roles_ = make_role_plan(p, pc, opts_.topo);
-  team_ = parallel::make_team(
-      p, opts_.pin_threads ? roles_.cpu : std::vector<int>{},
-      opts_.team_pool);
-
-  idx_t block = opts_.block_elems > 0 ? opts_.block_elems
-                                      : default_block_elems(opts_.topo);
-  // Stage 1 blocks are whole column groups (a*mu elems); stage 2 blocks
-  // whole mu-row groups (mu*b elems).
-  block = std::max(block, a_ * mu_);
-  block = std::max(block, mu_ * b_);
-  pipeline_ = std::make_unique<DoubleBufferPipeline>(*team_, roles_, block);
-
-  col_roots_ = root_table(n_, b_, dir_);
-}
-
-void DoubleBuffer1d::stage1(cplx* data) {
-  // (DFT_a (x) I_b) then D_b^{ab}, tiled over column groups of mu lanes.
-  const idx_t groups_total = b_ / mu_;
-  const idx_t group_elems = a_ * mu_;
-  const idx_t groups_per_block =
-      rows_per_block(groups_total, pipeline_->block_elems() / group_elems);
-  const bool nt = opts_.nontemporal;
-
-  PipelineStage stage;
-  stage.iterations = groups_total / groups_per_block;
-  stage.load = [=, this](idx_t i, cplx* buf, int rank, int parts) {
-    auto [g0, g1] = ThreadTeam::chunk(groups_per_block, parts, rank);
-    for (idx_t g = g0; g < g1; ++g) {
-      const idx_t col0 = (i * groups_per_block + g) * mu_;
-      cplx* tile = buf + g * group_elems;
-      for (idx_t r = 0; r < a_; ++r) {
-        std::memcpy(tile + r * mu_, data + r * b_ + col0,
-                    static_cast<std::size_t>(mu_) * sizeof(cplx));
-      }
-    }
-  };
-  stage.compute = [=, this](idx_t i, cplx* buf, int rank, int parts) {
-    auto [g0, g1] = ThreadTeam::chunk(groups_per_block, parts, rank);
-    if (g1 <= g0) return;
-    fft_a_->apply_lanes(buf + g0 * group_elems, mu_, g1 - g0);
-    // Twiddle scale D: element (r, q) *= w_N^{r q}, by per-column
-    // recurrence with periodic exact refresh.
-    for (idx_t g = g0; g < g1; ++g) {
-      cplx* tile = buf + g * group_elems;
-      for (idx_t l = 0; l < mu_; ++l) {
-        const idx_t q = (i * groups_per_block + g) * mu_ + l;
-        const cplx step = col_roots_[static_cast<std::size_t>(q)];
-        cplx w(1.0, 0.0);
-        for (idx_t r = 0; r < a_; ++r) {
-          if (r % kTwiddleRefresh == 0) {
-            w = root_of_unity(n_, (r * q) % n_, dir_);
-          }
-          tile[r * mu_ + l] *= w;
-          w *= step;
-        }
-      }
-    }
-  };
-  stage.store = [=, this](idx_t i, const cplx* buf, int rank, int parts) {
-    auto [g0, g1] = ThreadTeam::chunk(groups_per_block, parts, rank);
-    for (idx_t g = g0; g < g1; ++g) {
-      const idx_t col0 = (i * groups_per_block + g) * mu_;
-      const cplx* tile = buf + g * group_elems;
-      for (idx_t r = 0; r < a_; ++r) {
-        store_packet(data + r * b_ + col0, tile + r * mu_, mu_, nt);
-      }
-    }
-  };
-  pipeline_->execute(stage);
-}
-
-void DoubleBuffer1d::stage2(const cplx* src, cplx* dst) {
-  // (I_a (x) DFT_b) then the final L_b^{ab}: contiguous rows in, packet-
-  // transposed scatter out. Blocks are mu-row groups so the in-cache
-  // micro-transpose always has its mu rows available.
-  const idx_t row_groups = a_ / mu_;
-  const idx_t group_elems = mu_ * b_;
-  const idx_t groups_per_block =
-      rows_per_block(row_groups, pipeline_->block_elems() / group_elems);
-  const bool nt = opts_.nontemporal;
-
-  PipelineStage stage;
-  stage.iterations = row_groups / groups_per_block;
-  stage.load = [=, this](idx_t i, cplx* buf, int rank, int parts) {
-    auto [g0, g1] = ThreadTeam::chunk(groups_per_block, parts, rank);
-    if (g1 > g0) {
-      const idx_t row0 = (i * groups_per_block + g0) * mu_;
-      std::memcpy(buf + g0 * group_elems, src + row0 * b_,
-                  static_cast<std::size_t>((g1 - g0) * group_elems) *
-                      sizeof(cplx));
-    }
-  };
-  stage.compute = [=, this](idx_t, cplx* buf, int rank, int parts) {
-    auto [g0, g1] = ThreadTeam::chunk(groups_per_block, parts, rank);
-    if (g1 > g0) fft_b_->apply_batch(buf + g0 * group_elems, (g1 - g0) * mu_);
-  };
-  stage.store = [=, this](idx_t i, const cplx* buf, int rank, int parts) {
-    auto [g0, g1] = ThreadTeam::chunk(groups_per_block, parts, rank);
-    cplx packet[kMu];
-    for (idx_t g = g0; g < g1; ++g) {
-      const idx_t row0 = (i * groups_per_block + g) * mu_;
-      const cplx* tile = buf + g * group_elems;
-      // Output packet for column q is the q-th element of each of the mu
-      // rows: an in-cache gather feeding one contiguous NT store at
-      // dst[q*a + row0].
-      for (idx_t q = 0; q < b_; ++q) {
-        for (idx_t l = 0; l < mu_; ++l) packet[l] = tile[l * b_ + q];
-        store_packet(dst + q * a_ + row0, packet, mu_, nt);
-      }
-    }
-  };
-  pipeline_->execute(stage);
-}
-
-void DoubleBuffer1d::execute(cplx* in, cplx* out) {
-  BWFFT_CHECK(in != out, "double-buffer 1D is out of place");
-  stage1(in);
-  stage2(in, out);
-  if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
-    const double s = 1.0 / static_cast<double>(n_);
-    parallel_for_chunks(*team_, n_, [&](int, idx_t lo, idx_t hi) {
-      for (idx_t i = lo; i < hi; ++i) out[i] *= s;
-    });
-  }
+DoubleBuffer1d::DoubleBuffer1d(idx_t n, Direction dir,
+                               const FftOptions& opts) {
+  // Any n >= 1 plans: composite sizes run the tiled four-step split
+  // (factors need not be powers of two), primes and tiny sizes take the
+  // facade's flat fallback.
+  impl_ = std::make_unique<Fft1dLarge>(n, dir, opts);
 }
 
 }  // namespace bwfft

@@ -2,65 +2,36 @@
 //
 // §V leaves open "other methods of separating data movement from
 // computation for cases where the size of the 1D FFT is equal or greater
-// than the size of the shared buffer". This engine provides that method:
-// a four-step decomposition
-//
-//   DFT_{ab} = L_b^{ab} (I_a (x) DFT_b) D_b^{ab} (DFT_a (x) I_b)
-//
-// run as two tiled, software-pipelined stages through the same
-// cache-resident double buffer as the multidimensional engines:
-//
-//   stage 1  (DFT_a (x) I_b), D:  column groups of mu lanes are gathered
-//            at cacheline granularity (reads and writes at stride b but
-//            always whole packets), transformed with the lanes kernel,
-//            scaled by the twiddle diagonal *while cached*, and streamed
-//            back non-temporally;
-//   stage 2  (I_a (x) DFT_b), L:  contiguous rows are streamed in,
-//            transformed, and scattered through the final stride
-//            permutation with in-cache packet transposes feeding
-//            contiguous non-temporal stores.
-//
-// Both stages use the Table II pipeline, so a 1D transform larger than
-// the LLC streams exactly twice through DRAM with all reshaping hidden
-// behind compute — the 2D large-row case reduces to this per row batch.
+// than the size of the shared buffer". The four-step implementation that
+// provides that method lives in fft1d/large.h (Fft1dLarge), where it
+// also serves non-power-of-two factorizations and the tuner's
+// factorization axis; this class is the original power-of-two entry
+// point, kept as a thin delegate so the §V ablation benches and the 2D
+// large-row reduction keep their narrow pow2 contract.
 #pragma once
 
 #include <memory>
 
-#include "common/aligned.h"
 #include "fft/options.h"
-#include "fft1d/fft1d.h"
-#include "parallel/roles.h"
-#include "parallel/team.h"
-#include "pipeline/pipeline.h"
+#include "fft1d/large.h"
 
 namespace bwfft {
 
 class DoubleBuffer1d {
  public:
-  /// n must be a power of two with n >= 4 cachelines (n >= 64 in
-  /// practice); the split n = a*b is chosen near-square with mu | a,b.
+  /// n must be a power of two >= 16; the split n = a*b honours
+  /// opts.factor_n1 (0 = near-square with mu | a,b).
   DoubleBuffer1d(idx_t n, Direction dir, const FftOptions& opts = {});
 
-  idx_t size() const { return n_; }
-  idx_t factor_a() const { return a_; }
-  idx_t factor_b() const { return b_; }
+  idx_t size() const { return impl_->size(); }
+  idx_t factor_a() const { return impl_->factor_n1(); }
+  idx_t factor_b() const { return impl_->factor_n2(); }
 
   /// Out-of-place transform (in != out); `in` is used as scratch.
-  void execute(cplx* in, cplx* out);
+  void execute(cplx* in, cplx* out) { impl_->execute(in, out); }
 
  private:
-  void stage1(cplx* data);              // in place on `in`
-  void stage2(const cplx* src, cplx* dst);
-
-  idx_t n_, a_, b_, mu_;
-  Direction dir_;
-  FftOptions opts_;
-  std::shared_ptr<Fft1d> fft_a_, fft_b_;
-  std::shared_ptr<ThreadTeam> team_;  // pooled or private (FftOptions::team_pool)
-  RolePlan roles_;
-  std::unique_ptr<DoubleBufferPipeline> pipeline_;
-  cvec col_roots_;  // w_N^q for q < b: stage-1 twiddle column generators
+  std::unique_ptr<Fft1dLarge> impl_;
 };
 
 }  // namespace bwfft

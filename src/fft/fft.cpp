@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <new>
 #include <thread>
 
@@ -9,6 +10,7 @@
 #include "fault/fault.h"
 #include "fft/double_buffer.h"
 #include "fft/pencil.h"
+#include "fft1d/large.h"
 #include "fft/reference.h"
 #include "fft/slab_pencil.h"
 #include "fft/stage_parallel.h"
@@ -80,7 +82,9 @@ class ReferenceEngine final : public MdEngine {
       : dims_(std::move(dims)), dir_(dir), opts_(opts) {}
 
   void execute(cplx* in, cplx* out) override {
-    if (dims_.size() == 2) {
+    if (dims_.size() == 1) {
+      reference_dft_1d(in, out, dims_[0], dir_);
+    } else if (dims_.size() == 2) {
       reference_dft_2d(in, out, dims_[0], dims_[1], dir_);
     } else {
       reference_dft_3d(in, out, dims_[0], dims_[1], dims_[2], dir_);
@@ -100,13 +104,99 @@ class ReferenceEngine final : public MdEngine {
   FftOptions opts_;
 };
 
+// ---------------------------------------------------------------------------
+// 1D adapters (docs/INTERNALS.md §15). The EngineKind axis maps onto the
+// 1D strategies the ext_large1d bench compares: DoubleBuffer is the
+// tuned four-step Fft1dLarge, StageParallel the flat Stockham pass, and
+// Pencil the naive strided-DIT baseline.
+
+/// EngineKind::DoubleBuffer for dims.size() == 1: the four-step facade.
+class Large1dEngine final : public MdEngine {
+ public:
+  Large1dEngine(idx_t n, Direction dir, const FftOptions& opts)
+      : impl_(n, dir, opts) {}
+  void execute(cplx* in, cplx* out) override { impl_.execute(in, out); }
+  const char* name() const override { return "fft1d-large"; }
+
+ private:
+  Fft1dLarge impl_;
+};
+
+/// EngineKind::StageParallel for dims.size() == 1: one flat Stockham
+/// pass over the whole array — correct at any size, but the working set
+/// round-trips DRAM once per radix level once it outgrows the LLC.
+class Flat1dEngine final : public MdEngine {
+ public:
+  Flat1dEngine(idx_t n, Direction dir, const FftOptions& opts)
+      : n_(n), dir_(dir), opts_(opts), fft_(n, dir, opts.isa) {}
+  void execute(cplx* in, cplx* out) override {
+    fft_.apply_oop(in, out);
+    if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
+      fft_.scale_inverse(out, n_);
+    }
+  }
+  const char* name() const override { return "stockham-flat"; }
+
+ private:
+  idx_t n_;
+  Direction dir_;
+  FftOptions opts_;
+  Fft1d fft_;
+};
+
+/// EngineKind::Pencil for dims.size() == 1: the naive in-place DIT with
+/// bit-reversal — the cache-hostile baseline (§II-D applied to 1D).
+class NaiveDit1dEngine final : public MdEngine {
+ public:
+  NaiveDit1dEngine(idx_t n, Direction dir, const FftOptions& opts)
+      : n_(n), dir_(dir), opts_(opts), fft_(n, dir, opts.isa) {
+    BWFFT_CHECK(is_pow2(n), "naive 1D DIT needs a power-of-two size");
+  }
+  void execute(cplx* in, cplx* out) override {
+    std::memcpy(out, in, static_cast<std::size_t>(n_) * sizeof(cplx));
+    fft_.apply_strided_inplace(out, 1);
+    if (dir_ == Direction::Inverse && opts_.normalize_inverse) {
+      fft_.scale_inverse(out, n_);
+    }
+  }
+  const char* name() const override { return "naive-dit"; }
+
+ private:
+  idx_t n_;
+  Direction dir_;
+  FftOptions opts_;
+  Fft1d fft_;
+};
+
+std::unique_ptr<MdEngine> make_engine_1d(idx_t n, Direction dir,
+                                         const FftOptions& opts) {
+  switch (opts.engine) {
+    case EngineKind::Reference:
+      return std::make_unique<ReferenceEngine>(std::vector<idx_t>{n}, dir,
+                                               opts);
+    case EngineKind::Pencil:
+      return std::make_unique<NaiveDit1dEngine>(n, dir, opts);
+    case EngineKind::StageParallel:
+      return std::make_unique<Flat1dEngine>(n, dir, opts);
+    case EngineKind::DoubleBuffer:
+      return std::make_unique<Large1dEngine>(n, dir, opts);
+    case EngineKind::SlabPencil:
+      BWFFT_CHECK(false, "slab-pencil is a 3D decomposition");
+      break;
+    case EngineKind::Auto:
+      return make_engine({n}, dir, tune::resolve_auto({n}, dir, opts));
+  }
+  throw Error("unknown engine kind");
+}
+
 }  // namespace
 
 std::unique_ptr<MdEngine> make_engine(const std::vector<idx_t>& dims,
                                       Direction dir, const FftOptions& opts) {
-  BWFFT_CHECK(dims.size() == 2 || dims.size() == 3,
-              "only 2D and 3D transforms are supported");
+  BWFFT_CHECK(dims.size() >= 1 && dims.size() <= 3,
+              "only 1D, 2D and 3D transforms are supported");
   for (idx_t d : dims) BWFFT_CHECK(d >= 1, "dimensions must be positive");
+  if (dims.size() == 1) return make_engine_1d(dims[0], dir, opts);
   switch (opts.engine) {
     case EngineKind::Reference:
       return std::make_unique<ReferenceEngine>(dims, dir, opts);
@@ -166,6 +256,33 @@ void halve_threads(FftOptions& opts) {
   opts.compute_threads = -1;
 }
 
+/// Degrade the engine after a non-transient failure. Multidimensional
+/// plans fall straight to the dense reference oracle; 1D plans first try
+/// the flat Stockham pass (stage-parallel) — it needs no team and no
+/// placed buffers either, and unlike the O(n^2) oracle it stays usable
+/// at the out-of-LLC sizes Fft1dLarge serves. False when already at the
+/// last resort.
+bool degrade_engine(const std::vector<idx_t>& dims, FftOptions& opts,
+                    const char* what) {
+  const std::string reason(what);
+  if (dims.size() == 1 && opts.engine != EngineKind::StageParallel &&
+      opts.engine != EngineKind::Reference) {
+    fault::note_degrade(
+        (reason + "; falling back to flat Stockham engine").c_str());
+    fault::note_retry();
+    opts.engine = EngineKind::StageParallel;
+    return true;
+  }
+  if (opts.engine != EngineKind::Reference) {
+    fault::note_degrade(
+        (reason + "; falling back to reference engine").c_str());
+    fault::note_retry();
+    opts.engine = EngineKind::Reference;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 /// Engine construction for the facades and the exec/tune layers.
@@ -192,14 +309,10 @@ std::unique_ptr<MdEngine> make_engine_recovering(
     if (transient(code) && resolved_threads(opts) > 1) {
       halve_threads(opts);
       fault::note_retry();
-    } else if (opts.engine != EngineKind::Reference) {
-      // Terminal fallback: the dense oracle needs no team and no placed
-      // buffers, so it survives anything short of heap exhaustion.
-      fault::note_degrade(
-          "plan construction failed; falling back to reference engine");
-      fault::note_retry();
-      opts.engine = EngineKind::Reference;
-    } else {
+    } else if (!degrade_engine(dims, opts, "plan construction failed")) {
+      // Terminal fallback exhausted: the dense oracle needs no team and
+      // no placed buffers, so it survives anything short of heap
+      // exhaustion — if even it fails, surface the error.
       throw Error(code, "reference engine failed to build");
     }
   }
@@ -242,12 +355,8 @@ Status try_execute_recovering(const std::vector<idx_t>& dims, Direction dir,
       // Brief backoff: an injected straggler or a genuinely overloaded
       // host both benefit from not re-spawning the team immediately.
       std::this_thread::sleep_for(std::chrono::milliseconds(1LL << attempt));
-    } else if (opts.engine != EngineKind::Reference) {
-      fault::note_degrade(
-          "engine execution failed; falling back to reference engine");
-      fault::note_retry();
+    } else if (degrade_engine(dims, opts, "engine execution failed")) {
       ++retries;
-      opts.engine = EngineKind::Reference;
     } else {
       break;
     }

@@ -61,4 +61,19 @@ idx_t nt_copy(cplx* dst, const cplx* src, idx_t count, Isa isa) {
   }
 }
 
+void diag_scale_rows(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                     const cplx* step, Isa isa) {
+  switch (effective_isa(resolve_isa(isa))) {
+    case Isa::Avx512:
+      if (detail::diag_scale_rows_avx512(tile, rows, width, w, step)) return;
+      break;
+    case Isa::Avx2:
+      if (detail::diag_scale_rows_avx2(tile, rows, width, w, step)) return;
+      break;
+    default:
+      break;
+  }
+  detail::diag_scale_rows_scalar(tile, rows, width, w, step);
+}
+
 }  // namespace bwfft::kernels

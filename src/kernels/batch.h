@@ -69,6 +69,17 @@ BatchFn batch_lookup(idx_t n, Isa isa = Isa::Auto);
 /// with copy_stream.
 idx_t nt_copy(cplx* dst, const cplx* src, idx_t count, Isa isa = Isa::Auto);
 
+/// In-place twiddle-diagonal scale of a row-major tile with a stepped
+/// per-column recurrence: each of `rows` rows of `width` contiguous
+/// interleaved-complex elements is multiplied elementwise by w, after
+/// which w advances one step (w[l] *= step[l]). This is the four-step
+/// column pass's diagonal D_{n2}^{n1 n2}: the scale varies along BOTH
+/// tile axes, so it cannot ride the per-row `tw` path of the batched
+/// codelets above. `w` is updated in place; callers re-anchor it against
+/// exactly computed roots periodically to bound recurrence drift.
+void diag_scale_rows(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                     const cplx* step, Isa isa = Isa::Auto);
+
 namespace detail {
 // Per-ISA providers, defined in batch_scalar.cpp / batch_avx2.cpp /
 // batch_avx512.cpp. The AVX providers return nullptr when the TU was
@@ -79,6 +90,14 @@ const BatchTable* avx512_table();
 idx_t nt_copy_sse2(cplx* dst, const cplx* src, idx_t count);    // -1 if n/a
 idx_t nt_copy_avx2(cplx* dst, const cplx* src, idx_t count);    // -1 if n/a
 idx_t nt_copy_avx512(cplx* dst, const cplx* src, idx_t count);  // -1 if n/a
+void diag_scale_rows_scalar(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                            const cplx* step);
+// The AVX variants return false when the TU was compiled without its
+// target flags; the dispatcher then falls back to the scalar loop.
+bool diag_scale_rows_avx2(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                          const cplx* step);
+bool diag_scale_rows_avx512(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                            const cplx* step);
 }  // namespace detail
 
 }  // namespace bwfft::kernels

@@ -48,6 +48,39 @@ idx_t nt_copy_avx2(cplx* dst, const cplx* src, idx_t count) {
   return bytes / 32;
 }
 
+namespace {
+
+/// Elementwise interleaved complex multiply of two complex doubles:
+///   out = a * b  (re = a.re b.re - a.im b.im, im = a.re b.im + a.im b.re)
+inline __m256d cmul256(__m256d a, __m256d b) {
+  const __m256d bre = _mm256_movedup_pd(b);       // [b.re, b.re] per complex
+  const __m256d bim = _mm256_permute_pd(b, 0xF);  // [b.im, b.im]
+  const __m256d asw = _mm256_permute_pd(a, 0x5);  // [a.im, a.re]
+  return _mm256_fmaddsub_pd(a, bre, _mm256_mul_pd(asw, bim));
+}
+
+}  // namespace
+
+bool diag_scale_rows_avx2(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                          const cplx* step) {
+  auto* pw = reinterpret_cast<double*>(w);
+  const auto* ps = reinterpret_cast<const double*>(step);
+  const idx_t vec = width & ~idx_t{1};  // 2 complex doubles per register
+  for (idx_t r = 0; r < rows; ++r) {
+    auto* row = reinterpret_cast<double*>(tile + r * width);
+    for (idx_t l = 0; l < 2 * vec; l += 4) {
+      const __m256d vw = _mm256_loadu_pd(pw + l);
+      _mm256_storeu_pd(row + l, cmul256(_mm256_loadu_pd(row + l), vw));
+      _mm256_storeu_pd(pw + l, cmul256(vw, _mm256_loadu_pd(ps + l)));
+    }
+    for (idx_t c = vec; c < width; ++c) {
+      tile[r * width + c] *= w[c];
+      w[c] *= step[c];
+    }
+  }
+  return true;
+}
+
 }  // namespace bwfft::kernels::detail
 
 #else  // toolchain cannot target AVX2+FMA
@@ -57,6 +90,10 @@ namespace bwfft::kernels::detail {
 const BatchTable* avx2_table() { return nullptr; }
 
 idx_t nt_copy_avx2(cplx*, const cplx*, idx_t) { return -1; }
+
+bool diag_scale_rows_avx2(cplx*, idx_t, idx_t, cplx*, const cplx*) {
+  return false;
+}
 
 }  // namespace bwfft::kernels::detail
 

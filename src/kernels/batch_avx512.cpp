@@ -94,6 +94,39 @@ idx_t nt_copy_avx512(cplx* dst, const cplx* src, idx_t count) {
   return bytes / 32;
 }
 
+namespace {
+
+/// Elementwise interleaved complex multiply of four complex doubles:
+///   out = a * b  (re = a.re b.re - a.im b.im, im = a.re b.im + a.im b.re)
+inline __m512d cmul512(__m512d a, __m512d b) {
+  const __m512d bre = _mm512_movedup_pd(b);      // [b.re, b.re] per complex
+  const __m512d bim = _mm512_permute_pd(b, 0xFF);  // [b.im, b.im]
+  const __m512d asw = _mm512_permute_pd(a, 0x55);  // [a.im, a.re]
+  return _mm512_fmaddsub_pd(a, bre, _mm512_mul_pd(asw, bim));
+}
+
+}  // namespace
+
+bool diag_scale_rows_avx512(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                            const cplx* step) {
+  auto* pw = reinterpret_cast<double*>(w);
+  const auto* ps = reinterpret_cast<const double*>(step);
+  const idx_t vec = width & ~idx_t{3};  // 4 complex doubles per register
+  for (idx_t r = 0; r < rows; ++r) {
+    auto* row = reinterpret_cast<double*>(tile + r * width);
+    for (idx_t l = 0; l < 2 * vec; l += 8) {
+      const __m512d vw = _mm512_loadu_pd(pw + l);
+      _mm512_storeu_pd(row + l, cmul512(_mm512_loadu_pd(row + l), vw));
+      _mm512_storeu_pd(pw + l, cmul512(vw, _mm512_loadu_pd(ps + l)));
+    }
+    for (idx_t c = vec; c < width; ++c) {
+      tile[r * width + c] *= w[c];
+      w[c] *= step[c];
+    }
+  }
+  return true;
+}
+
 }  // namespace bwfft::kernels::detail
 
 #else  // toolchain cannot target AVX-512F
@@ -103,6 +136,10 @@ namespace bwfft::kernels::detail {
 const BatchTable* avx512_table() { return nullptr; }
 
 idx_t nt_copy_avx512(cplx*, const cplx*, idx_t) { return -1; }
+
+bool diag_scale_rows_avx512(cplx*, idx_t, idx_t, cplx*, const cplx*) {
+  return false;
+}
 
 }  // namespace bwfft::kernels::detail
 

@@ -20,6 +20,17 @@ const BatchTable& scalar_table() {
   return t;
 }
 
+void diag_scale_rows_scalar(cplx* tile, idx_t rows, idx_t width, cplx* w,
+                            const cplx* step) {
+  for (idx_t r = 0; r < rows; ++r) {
+    cplx* row = tile + r * width;
+    for (idx_t l = 0; l < width; ++l) {
+      row[l] *= w[l];
+      w[l] *= step[l];
+    }
+  }
+}
+
 idx_t nt_copy_sse2(cplx* dst, const cplx* src, idx_t count) {
 #if defined(__SSE2__)
   auto* d = reinterpret_cast<double*>(dst);

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "fft/stage.h"
+#include "fft1d/large.h"
 #include "kernels/isa.h"
 
 namespace bwfft::tune {
@@ -53,6 +54,7 @@ FftOptions apply_candidate(const TuneCandidate& c, FftOptions base) {
   base.compute_threads = c.compute_threads;
   base.block_elems = c.block_elems;
   base.packet_elems = c.packet_elems;
+  base.factor_n1 = c.factor_n1;
   base.nontemporal = c.nontemporal;
   base.isa = c.isa;
   return base;
@@ -61,23 +63,129 @@ FftOptions apply_candidate(const TuneCandidate& c, FftOptions base) {
 bool same_config(const TuneCandidate& a, const TuneCandidate& b) {
   return a.engine == b.engine && a.compute_threads == b.compute_threads &&
          a.block_elems == b.block_elems && a.packet_elems == b.packet_elems &&
-         a.nontemporal == b.nontemporal && a.isa == b.isa;
+         a.factor_n1 == b.factor_n1 && a.nontemporal == b.nontemporal &&
+         a.isa == b.isa;
 }
 
 std::string candidate_label(const TuneCandidate& c) {
-  char buf[112];
-  std::snprintf(buf, sizeof(buf), "%s c=%d b=%lld mu=%lld nt=%d isa=%s",
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s c=%d b=%lld mu=%lld f1=%lld nt=%d isa=%s",
                 engine_name(c.engine), c.compute_threads,
                 static_cast<long long>(c.block_elems),
                 static_cast<long long>(c.packet_elems),
+                static_cast<long long>(c.factor_n1),
                 c.nontemporal ? 1 : 0, kernels::isa_name(c.isa));
   return buf;
 }
 
+namespace {
+
+/// The 1D grid: engine x compute split x block x factorization x nt x
+/// isa. The packet axis is absent — Fft1dLarge derives a packet per
+/// factor — and in its place the four-step factorization is enumerated:
+/// the near-square n1 plus the x2 / /2 skews that still divide n, so
+/// measurement can catch hosts where an asymmetric split (cheaper column
+/// gathers vs cheaper row scatters) wins.
+std::vector<TuneCandidate> enumerate_candidates_1d(idx_t n,
+                                                   const FftOptions& req) {
+  const int p = req.threads > 0 ? req.threads : req.topo.total_threads();
+
+  std::vector<EngineKind> engines;
+  if (req.engine != EngineKind::Auto) {
+    engines = {req.engine};
+  } else {
+    engines = {EngineKind::DoubleBuffer, EngineKind::StageParallel};
+    // The naive-DIT baseline only plans at powers of two; never enumerate
+    // a candidate the engine would reject.
+    if (is_pow2(n)) engines.push_back(EngineKind::Pencil);
+  }
+
+  std::vector<idx_t> factors;
+  if (req.factor_n1 > 0) {
+    factors = {req.factor_n1};
+  } else {
+    const idx_t f0 = Fft1dLarge::choose_factors(n, 0).first;
+    factors = {f0};
+    if (f0 > 1) {
+      for (idx_t skew : {f0 / 2, f0 * 2}) {
+        if (skew >= 2 && skew != f0 && n % skew == 0 && n / skew >= 2) {
+          factors.push_back(skew);
+        }
+      }
+    }
+  }
+
+  std::vector<int> splits;
+  if (req.compute_threads >= 0) {
+    splits = {req.compute_threads};
+  } else {
+    splits = {-1};
+    if (p >= 4 && (3 * p) / 4 < p) splits.push_back((3 * p) / 4);
+  }
+
+  std::vector<idx_t> blocks;
+  if (req.block_elems > 0) {
+    blocks = {req.block_elems};
+  } else {
+    blocks = {0};
+    const idx_t policy = req.topo.shared_buffer_elems() / 2;
+    const idx_t half = policy / 2;
+    if (half > 0 && half < req.topo.shared_buffer_elems()) {
+      blocks.push_back(half);
+    }
+  }
+
+  const bool nt_values[] = {true, false};
+
+  std::vector<kernels::Isa> isas;
+  if (req.isa != kernels::Isa::Auto) {
+    isas = {req.isa};
+  } else {
+    isas = {kernels::Isa::Auto};
+    if (kernels::detected_isa() == kernels::Isa::Avx512) {
+      isas.push_back(kernels::Isa::Avx2);
+    }
+  }
+
+  std::vector<TuneCandidate> out;
+  for (EngineKind e : engines) {
+    const bool is_four_step = e == EngineKind::DoubleBuffer;
+    const bool tunes_isa = e != EngineKind::Reference;
+    for (int c : splits) {
+      if (!is_four_step && c != splits.front()) continue;
+      for (idx_t b : blocks) {
+        if (!is_four_step && b != blocks.front()) continue;
+        for (idx_t f : factors) {
+          if (!is_four_step && f != factors.front()) continue;
+          for (bool nt : nt_values) {
+            if (!is_four_step && nt != nt_values[0]) continue;
+            for (kernels::Isa isa : isas) {
+              if (!tunes_isa && isa != isas.front()) continue;
+              TuneCandidate cand;
+              cand.engine = e;
+              cand.compute_threads = is_four_step ? c : -1;
+              cand.block_elems = is_four_step ? b : 0;
+              cand.packet_elems = 0;
+              cand.factor_n1 = is_four_step ? f : 0;
+              cand.nontemporal = is_four_step ? nt : true;
+              cand.isa = tunes_isa ? isa : kernels::Isa::Auto;
+              out.push_back(cand);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<TuneCandidate> enumerate_candidates(const std::vector<idx_t>& dims,
                                                 const FftOptions& req) {
-  BWFFT_CHECK(dims.size() == 2 || dims.size() == 3,
-              "tuning supports 2D and 3D transforms");
+  BWFFT_CHECK(dims.size() >= 1 && dims.size() <= 3,
+              "tuning supports 1D, 2D and 3D transforms");
+  if (dims.size() == 1) return enumerate_candidates_1d(dims[0], req);
   const int p = req.threads > 0 ? req.threads : req.topo.total_threads();
   const idx_t m = dims.back();  // fast dimension: mu must divide it
 
@@ -200,6 +308,91 @@ double estimate_seconds(const TuneCandidate& c, const std::vector<idx_t>& dims,
   // read for ownership, doubling the write cost (§IV-A).
   const double write = bytes * (c.nontemporal ? 1.0 : 2.0);
   const double mu_eff = packet_efficiency(c.packet_elems);
+
+  if (rank == 1 && (c.engine == EngineKind::Pencil ||
+                    c.engine == EngineKind::StageParallel ||
+                    c.engine == EngineKind::DoubleBuffer)) {
+    const idx_t len = dims[0];
+    const double t = std::log2(std::max(2.0, n));
+
+    // Flat Stockham: ping-pong between the array and its scratch once
+    // per greedy radix-16 level; sizes whose working set (data +
+    // scratch) stays LLC-resident collapse to one DRAM round trip.
+    const auto flat_model = [&] {
+      const double levels = std::max(1.0, std::ceil(t / 4.0));
+      const double passes =
+          4.0 * bytes <= static_cast<double>(topo.llc_bytes) ? 1.0 : levels;
+      const double io = passes * (bytes + bytes) / bw;
+      const double compute =
+          5.0 * n * t / (isa_gflops_per_core(c.isa) * 1e9);
+      return std::max(io, compute);
+    };
+
+    switch (c.engine) {
+      case EngineKind::Pencil: {
+        // Bit-reversal scatter at one element per cacheline, then
+        // log2(n) in-place DIT sweeps over the whole array.
+        const double bitrev = (bytes + bytes) / (bw * kStridedEfficiency);
+        return bitrev + t * (bytes + bytes) / bw;
+      }
+      case EngineKind::StageParallel:
+        return flat_model();
+      case EngineKind::DoubleBuffer: {
+        // Two software-pipelined passes (fft1d/large.h): packet-strided
+        // column gathers + NT packet stores, then contiguous row loads +
+        // packet-transposed scatters. This is the bandwidth term that
+        // ranks the factorization axis: the packet widths (and so the
+        // streamed-line utilisation) follow from each factor, and a
+        // group that outgrows the pipeline block costs its cache
+        // residency.
+        const auto [f1, f2] = Fft1dLarge::choose_factors(len, c.factor_n1);
+        if (f1 <= 1) return flat_model();  // degenerate split
+        const int p = threads > 0 ? threads : topo.total_threads();
+        const int pc =
+            c.compute_threads >= 0
+                ? std::clamp(c.compute_threads, 1, std::max(1, p - 1))
+                : std::max(1, p / 2);
+        const double cf = static_cast<double>(pc) / p;
+        const double balance = std::max(0.1, 4.0 * cf * (1.0 - cf));
+        const double eff = kOverlapEfficiency * balance;
+        const idx_t mu1 = std::min(packet_size_for(f2), f2);
+        const idx_t mu2 = std::min(packet_size_for(f1), f1);
+        const idx_t block =
+            c.block_elems > 0
+                ? c.block_elems
+                : std::max<idx_t>(1, topo.shared_buffer_elems() / 2);
+        const double group =
+            static_cast<double>(std::max(f1 * mu1, mu2 * f2));
+        const double spill =
+            std::max(1.0, group / static_cast<double>(block));
+        const double io1 =
+            (bytes + write) / (bw * packet_efficiency(mu1)) * spill;
+        const double io2 =
+            (bytes / bw + write / (bw * packet_efficiency(mu2))) * spill;
+        const double rate =
+            static_cast<double>(pc) * isa_gflops_per_core(c.isa) * 1e9;
+        // 5 n log2(f) per pass plus ~6 flops/elem of twiddle diagonal.
+        const double fl1 =
+            5.0 * n * std::log2(std::max(2.0, static_cast<double>(f1))) +
+            6.0 * n;
+        const double fl2 =
+            5.0 * n * std::log2(std::max(2.0, static_cast<double>(f2)));
+        const double iters =
+            2.0 * std::max(1.0, n / static_cast<double>(block));
+        if (p <= 1) {
+          // One thread runs load/compute/store sequentially: a pass
+          // costs io + compute, with neither overlap nor the
+          // starved-role balance penalty (cf = 1 would charge 10x).
+          return io1 + fl1 / rate + io2 + fl2 / rate +
+                 iters * kIterationOverheadSeconds;
+        }
+        return (std::max(io1, fl1 / rate) + std::max(io2, fl2 / rate)) /
+                   eff +
+               iters * kIterationOverheadSeconds;
+      }
+      default: break;
+    }
+  }
 
   switch (c.engine) {
     case EngineKind::Pencil: {

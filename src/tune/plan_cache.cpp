@@ -60,14 +60,15 @@ std::string PlanCache::key_of(const std::vector<idx_t>& dims, Direction dir,
   for (std::size_t i = 0; i < dims.size(); ++i) {
     k += (i ? "x" : "") + std::to_string(dims[i]);
   }
-  char buf[160];
+  char buf[176];
   std::snprintf(buf, sizeof(buf),
-                ":%c:e%d:t%d:c%d:b%lld:mu%lld:nt%d:lvl%d:pin%d:norm%d",
+                ":%c:e%d:t%d:c%d:b%lld:mu%lld:f1%lld:nt%d:lvl%d:pin%d:norm%d",
                 dir == Direction::Forward ? 'f' : 'i',
                 static_cast<int>(opts.engine), opts.threads,
                 opts.compute_threads,
                 static_cast<long long>(opts.block_elems),
                 static_cast<long long>(opts.packet_elems),
+                static_cast<long long>(opts.factor_n1),
                 opts.nontemporal ? 1 : 0, static_cast<int>(opts.tune_level),
                 (opts.pin_threads ? 1 : 0) | (opts.team_pool ? 2 : 0),
                 opts.normalize_inverse ? 1 : 0);

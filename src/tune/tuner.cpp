@@ -148,8 +148,8 @@ TuneReport tune_transform(const std::vector<idx_t>& dims, Direction dir,
 
 FftOptions resolve_auto(const std::vector<idx_t>& dims, Direction dir,
                         const FftOptions& req, TuneReport* report) {
-  BWFFT_CHECK(dims.size() == 2 || dims.size() == 3,
-              "only 2D and 3D transforms are supported");
+  BWFFT_CHECK(dims.size() >= 1 && dims.size() <= 3,
+              "only 1D, 2D and 3D transforms are supported");
   // Wisdom keys compose the topology fingerprint with the ACTIVE ISA so
   // a config measured with AVX-512 kernels is never replayed onto a run
   // forced down to scalar (BWFFT_ISA / force_scalar) or vice versa.

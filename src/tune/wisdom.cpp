@@ -45,8 +45,7 @@ bool entry_from_json(const Json& j, WisdomEntry* out) {
   if (!j.is_object()) return false;
   WisdomEntry e;
   const Json* dims = j.find("dims");
-  if (!dims || !dims->is_array() ||
-      (dims->size() != 2 && dims->size() != 3)) {
+  if (!dims || !dims->is_array() || dims->size() < 1 || dims->size() > 3) {
     return false;
   }
   for (std::size_t i = 0; i < dims->size(); ++i) {
@@ -78,6 +77,12 @@ bool entry_from_json(const Json& j, WisdomEntry* out) {
   const Json* nt = j.find("nontemporal");
   if (!nt || !nt->is_bool()) return false;
   e.config.nontemporal = nt->as_bool();
+  // Optional (absent in pre-1D wisdom files): missing means the
+  // near-square policy (0).
+  if (const Json* f1 = j.find("factor_n1")) {
+    if (!f1->is_number() || f1->as_int() < 0) return false;
+    e.config.factor_n1 = static_cast<idx_t>(f1->as_int());
+  }
   // Optional (absent in pre-ISA wisdom files): missing means Auto.
   if (const Json* isa = j.find("isa")) {
     if (!isa->is_string() ||
@@ -154,6 +159,7 @@ Json Wisdom::to_json() const {
     j.set("block_elems", static_cast<std::int64_t>(e.config.block_elems));
     j.set("packet_elems", static_cast<std::int64_t>(e.config.packet_elems));
     j.set("nontemporal", e.config.nontemporal);
+    j.set("factor_n1", static_cast<std::int64_t>(e.config.factor_n1));
     j.set("isa", kernels::isa_name(e.config.isa));
     j.set("seconds", e.seconds);
     j.set("level", tune_level_name(e.level));

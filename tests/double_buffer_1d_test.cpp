@@ -91,9 +91,41 @@ TEST(DoubleBuffer1d, SplitIsNearSquare) {
   EXPECT_EQ(64, p2.factor_b());
 }
 
-TEST(DoubleBuffer1d, RejectsBadSizes) {
-  EXPECT_THROW(DoubleBuffer1d(12, Direction::Forward, db1_opts(1)), Error);
-  EXPECT_THROW(DoubleBuffer1d(8, Direction::Forward, db1_opts(1)), Error);
+TEST(DoubleBuffer1d, SmallAndNonPow2SizesPlan) {
+  // The facade accepts any size now: composite sizes split (factors need
+  // not be powers of two), so 12 = 3*4 and 8 = 2*4 both plan and match
+  // the dense oracle.
+  for (idx_t n : {idx_t{8}, idx_t{12}, idx_t{3 * 64}}) {
+    auto x = random_cvec(n, 8800 + n);
+    cvec want(x.size());
+    reference_dft_1d(x.data(), want.data(), n, Direction::Forward);
+    DoubleBuffer1d plan(n, Direction::Forward, db1_opts(1));
+    cvec in = x, got(x.size());
+    plan.execute(in.data(), got.data());
+    EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(DoubleBuffer1d, RejectsMisfitFactor) {
+  FftOptions o = db1_opts(1);
+  o.factor_n1 = 5;  // does not divide 64
+  EXPECT_THROW(DoubleBuffer1d(64, Direction::Forward, o), Error);
+}
+
+TEST(DoubleBuffer1d, HonoursRequestedFactor) {
+  const idx_t n = 1 << 12;
+  FftOptions o = db1_opts(2);
+  o.factor_n1 = 16;  // non-square split by request
+  DoubleBuffer1d plan(n, Direction::Forward, o);
+  EXPECT_EQ(16, plan.factor_a());
+  EXPECT_EQ(n / 16, plan.factor_b());
+  auto x = random_cvec(n, 8900);
+  cvec want(x.size());
+  reference_dft_1d(x.data(), want.data(), n, Direction::Forward);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)));
 }
 
 }  // namespace

@@ -38,7 +38,9 @@ struct Case {
     in = random_cvec(total, seed);
     out.assign(in.size(), cplx{-7.0, -7.0});  // sentinel: untouched on reject
     want.resize(in.size());
-    if (dims.size() == 2) {
+    if (dims.size() == 1) {
+      reference_dft_1d(in.data(), want.data(), dims[0], dir);
+    } else if (dims.size() == 2) {
       reference_dft_2d(in.data(), want.data(), dims[0], dims[1], dir);
     } else {
       reference_dft_3d(in.data(), want.data(), dims[0], dims[1], dims[2], dir);
@@ -71,6 +73,16 @@ TEST(BatchExecutor, ServesSingle2dRequest) {
   EXPECT_EQ(0u, s.failed);
   EXPECT_EQ(1u, s.end_to_end.count);
   EXPECT_EQ(1u, s.queue_wait.count);
+}
+
+TEST(BatchExecutor, ServesSingle1dRequest) {
+  // 1D shapes route through the large-1D adapters (docs/INTERNALS.md
+  // §15) like any other rank — same queue, same plan cache.
+  BatchExecutor ex;
+  Case c({idx_t{1} << 12}, Direction::Forward, 7010);
+  ExecReport rep = ex.submit(c.request()).get();
+  ASSERT_TRUE(rep.status.ok()) << rep.status.str();
+  c.expect_correct();
 }
 
 TEST(BatchExecutor, ServesSingle3dRequestBothDirections) {

@@ -193,8 +193,19 @@ TEST(Facade, InvalidPacketOptionThrows) {
   EXPECT_THROW(Fft3d(4, 4, 8, Direction::Forward, o), Error);
 }
 
-TEST(Facade, OneDimensionalSizesRejected) {
-  EXPECT_THROW(make_engine({16}, Direction::Forward, {}), Error);
+TEST(Facade, OneDimensionalShapesRoute) {
+  // 1D shapes route through the fft1d/large.h engines; ranks above 3 are
+  // still rejected.
+  FftOptions o;
+  o.engine = EngineKind::DoubleBuffer;
+  o.threads = 1;
+  auto engine = make_engine({64}, Direction::Forward, o);
+  auto x = random_cvec(64, 9400);
+  cvec want(x.size());
+  reference_dft_1d(x.data(), want.data(), 64, Direction::Forward);
+  cvec in = x, got(x.size());
+  engine->execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(64.0));
   EXPECT_THROW(make_engine({2, 2, 2, 2}, Direction::Forward, {}), Error);
 }
 

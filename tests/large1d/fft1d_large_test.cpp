@@ -1,0 +1,166 @@
+// Tests for Fft1dLarge, the tuned four-step engine for out-of-LLC 1D
+// transforms (docs/INTERNALS.md §15). Large sizes are checked against the
+// flat Stockham pass (itself dense-oracle-verified in fft1d_test); tiny
+// sizes are cross-checked against the spl::dft1d_four_step specification
+// the engine implements.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "../test_util.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "fft/reference.h"
+#include "fft1d/fft1d.h"
+#include "fft1d/large.h"
+#include "spl/algorithms.h"
+
+namespace bwfft {
+namespace {
+
+using test::fft_tol;
+using test::max_err;
+
+/// Oracle for sizes where the dense O(n^2) reference is unusable: one
+/// flat Stockham / mixed-radix pass over the whole array.
+cvec stockham_oracle(const cvec& x, Direction dir = Direction::Forward) {
+  cvec want = x;
+  Fft1d flat(static_cast<idx_t>(x.size()), dir);
+  flat.apply_batch(want.data(), 1);
+  return want;
+}
+
+FftOptions large_opts(int threads) {
+  FftOptions o;
+  o.threads = threads;
+  return o;
+}
+
+class Fft1dLargeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fft1dLargeSizes, ForwardMatchesStockham) {
+  const idx_t n = idx_t{1} << GetParam();
+  auto x = random_cvec(n, 9500 + GetParam());
+  const cvec want = stockham_oracle(x);
+  Fft1dLarge plan(n, Direction::Forward, large_opts(1));
+  EXPECT_GT(plan.factor_n1(), 1) << "expected a real split at n=" << n;
+  EXPECT_EQ(n, plan.factor_n1() * plan.factor_n2());
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)))
+      << "n=2^" << GetParam() << " n1=" << plan.factor_n1();
+}
+
+// 2^18 (LLC-resident) through 2^24 (the out-of-LLC regime the engine
+// exists for). 2^24 is 268 MiB per array — still fine on CI runners.
+INSTANTIATE_TEST_SUITE_P(Sweep, Fft1dLargeSizes,
+                         ::testing::Values(18, 20, 22, 24));
+
+TEST(Fft1dLarge, InverseRoundTripNormalized) {
+  const idx_t n = idx_t{1} << 20;
+  auto x = random_cvec(n, 9510);
+  FftOptions io = large_opts(1);
+  io.normalize_inverse = true;
+  Fft1dLarge fwd(n, Direction::Forward, large_opts(1));
+  Fft1dLarge inv(n, Direction::Inverse, io);
+  cvec a = x, b(x.size()), c(x.size());
+  fwd.execute(a.data(), b.data());
+  inv.execute(b.data(), c.data());
+  EXPECT_LT(max_err(x, c), fft_tol(static_cast<double>(n)));
+}
+
+TEST(Fft1dLarge, NonSquareRequestedFactorMatches) {
+  // A deliberately skewed split (n1 = 64, n2 = 4096): the tuner's factor
+  // axis must be free to pick shapes far from sqrt(n).
+  const idx_t n = idx_t{1} << 18;
+  FftOptions o = large_opts(1);
+  o.factor_n1 = 64;
+  Fft1dLarge plan(n, Direction::Forward, o);
+  EXPECT_EQ(64, plan.factor_n1());
+  EXPECT_EQ(n / 64, plan.factor_n2());
+  auto x = random_cvec(n, 9520);
+  const cvec want = stockham_oracle(x);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)));
+}
+
+TEST(Fft1dLarge, OddRadixFactorizationMatches) {
+  // n = 3 * 2^16: neither factor axis is forced to a power of two — the
+  // default split and a requested odd n1 both have to work.
+  const idx_t n = 3 * (idx_t{1} << 16);
+  auto x = random_cvec(n, 9530);
+  const cvec want = stockham_oracle(x);
+  for (idx_t req : {idx_t{0}, idx_t{3 * 64}}) {
+    FftOptions o = large_opts(1);
+    o.factor_n1 = req;
+    Fft1dLarge plan(n, Direction::Forward, o);
+    EXPECT_EQ(n, plan.factor_n1() * plan.factor_n2());
+    if (req > 0) EXPECT_EQ(req, plan.factor_n1());
+    cvec in = x, got(x.size());
+    plan.execute(in.data(), got.data());
+    EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)))
+        << "requested n1=" << req;
+  }
+}
+
+TEST(Fft1dLarge, MultiThreadedPipelineMatches) {
+  // The TSan target: both tiled passes pipeline load/compute/store
+  // across a pinned team. Any missing hand-off fence shows up here.
+  const idx_t n = idx_t{1} << 20;
+  auto x = random_cvec(n, 9540);
+  const cvec want = stockham_oracle(x);
+  for (int threads : {2, 4}) {
+    Fft1dLarge plan(n, Direction::Forward, large_opts(threads));
+    cvec in = x, got(x.size());
+    plan.execute(in.data(), got.data());
+    EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Fft1dLarge, TinySizesMatchFourStepSpec) {
+  // The engine IS the spl::dft1d_four_step rewrite; at dense-checkable
+  // sizes its output must match the specification matrix applied
+  // directly, for the exact same (n1, n2) split.
+  for (auto [a, b] :
+       {std::pair<idx_t, idx_t>{4, 8}, {8, 8}, {3, 16}, {16, 4}}) {
+    const idx_t n = a * b;
+    FftOptions o = large_opts(1);
+    o.factor_n1 = a;
+    Fft1dLarge plan(n, Direction::Forward, o);
+    auto x = random_cvec(n, 9550 + n);
+    cvec want(x.size());
+    spl::dft1d_four_step(a, b)->apply(x.data(), want.data());
+    cvec in = x, got(x.size());
+    plan.execute(in.data(), got.data());
+    EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)))
+        << a << "x" << b;
+  }
+}
+
+TEST(Fft1dLarge, PrimeSizesDegenerateToFlat) {
+  const idx_t n = 65537;  // Fermat prime: no divisor in [2, n/2]
+  Fft1dLarge plan(n, Direction::Forward, large_opts(1));
+  EXPECT_EQ(1, plan.factor_n1());
+  auto x = random_cvec(n, 9560);
+  const cvec want = stockham_oracle(x);
+  cvec in = x, got(x.size());
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_err(want, got), fft_tol(static_cast<double>(n)));
+}
+
+TEST(Fft1dLarge, ChooseFactorsPolicy) {
+  // The default split is skewed, not near-square: short core-private
+  // column FFTs, rows capped so a row stays cache-resident.
+  const auto [n1, n2] = Fft1dLarge::choose_factors(idx_t{1} << 22, 0);
+  EXPECT_EQ((idx_t{1} << 22), n1 * n2);
+  EXPECT_GE(n2, n1);  // rows at least as long as the column count
+  // Requests are honoured exactly, misfits rejected.
+  EXPECT_EQ(std::make_pair(idx_t{16}, idx_t{256}),
+            Fft1dLarge::choose_factors(4096, 16));
+  EXPECT_THROW(Fft1dLarge::choose_factors(64, 5), Error);
+}
+
+}  // namespace
+}  // namespace bwfft

@@ -64,6 +64,26 @@ TEST(BenchSchema, SurvivesDumpParseRoundTrip) {
   EXPECT_EQ((std::vector<idx_t>{512, 1024}), rep.rows[1].dims);
 }
 
+TEST(BenchSchema, OneDimensionalRowsValidate) {
+  // The large-1D sweep emits dims like [4194304]; 4D and empty stay out.
+  BenchReport rep = sample_report();
+  BenchRow row;
+  row.engine = "double-buffer";
+  row.resolved = "fft1d-large";
+  row.dims = {idx_t{1} << 22};
+  row.best_seconds = 0.08;
+  row.pseudo_gflops = 5.2;
+  row.pct_of_peak = 20.5;
+  rep.rows.push_back(row);
+  std::string err;
+  EXPECT_TRUE(validate_bench_report(bench_report_to_json(rep), &err)) << err;
+
+  rep.rows.back().dims = {2, 2, 2, 2};
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(rep), &err));
+  rep.rows.back().dims = {};
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(rep), &err));
+}
+
 TEST(BenchSchema, RejectsSchemaViolations) {
   std::string err;
 
@@ -85,9 +105,9 @@ TEST(BenchSchema, RejectsSchemaViolations) {
   EXPECT_FALSE(validate_bench_report(bench_report_to_json(empty), &err));
   EXPECT_NE(std::string::npos, err.find("results"));
 
-  BenchReport one_dim = sample_report();
-  one_dim.rows[0].dims = {128};
-  EXPECT_FALSE(validate_bench_report(bench_report_to_json(one_dim), &err));
+  BenchReport four_dim = sample_report();
+  four_dim.rows[0].dims = {2, 2, 2, 2};
+  EXPECT_FALSE(validate_bench_report(bench_report_to_json(four_dim), &err));
 
   BenchReport zero_dim = sample_report();
   zero_dim.rows[0].dims = {128, 0, 128};
@@ -120,6 +140,94 @@ TEST(Json, ParsesAndPreservesIntegers) {
   EXPECT_TRUE((*b)[2].as_bool());
   EXPECT_TRUE((*b)[3].is_null());
   EXPECT_EQ("x\"y", (*b)[4].as_string());
+}
+
+// ---------------------------------------------------------------------------
+// The perf-regression gate behind `bench_report --check`.
+
+BenchReport gate_report(double db_pct, double sp_pct, double ref_pct) {
+  BenchReport rep;
+  rep.label = "gate";
+  rep.stream_gbs = 20.0;
+  BenchRow db;
+  db.engine = "double-buffer";
+  db.dims = {1 << 22};
+  db.pct_of_peak = db_pct;
+  rep.rows.push_back(db);
+  BenchRow sp;
+  sp.engine = "stage-parallel";
+  sp.dims = {64, 64};
+  sp.pct_of_peak = sp_pct;
+  rep.rows.push_back(sp);
+  BenchRow ref;
+  ref.engine = "reference";
+  ref.dims = {64, 64};
+  ref.pct_of_peak = ref_pct;  // below the floor in these tests
+  rep.rows.push_back(ref);
+  return rep;
+}
+
+TEST(BenchCheck, ConfigKeyNamesEngineAndDims) {
+  BenchRow row;
+  row.engine = "double-buffer";
+  row.dims = {1 << 22};
+  EXPECT_EQ("double-buffer 4194304", bench_config_key(row));
+  row.resolved = "fft1d-large";  // resolution must not change the key
+  EXPECT_EQ("double-buffer 4194304", bench_config_key(row));
+  row.dims = {64, 128};
+  EXPECT_EQ("double-buffer 64x128", bench_config_key(row));
+}
+
+TEST(BenchCheck, IdenticalReportsPass) {
+  const BenchReport base = gate_report(40.0, 55.0, 1.0);
+  const BenchCheckResult r = check_bench_regression(base, base, 10.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(2, r.compared);
+  EXPECT_EQ(1, r.skipped);  // the sub-floor reference row
+}
+
+TEST(BenchCheck, InjectedRegressionFails) {
+  const BenchReport base = gate_report(40.0, 55.0, 1.0);
+  const BenchReport cur = gate_report(40.0, 20.0, 1.0);  // sp fell 64%
+  const BenchCheckResult r = check_bench_regression(base, cur, 25.0);
+  ASSERT_EQ(1u, r.regressions.size());
+  EXPECT_EQ("stage-parallel 64x64", r.regressions[0].config);
+  EXPECT_DOUBLE_EQ(55.0, r.regressions[0].baseline_pct);
+  EXPECT_DOUBLE_EQ(20.0, r.regressions[0].current_pct);
+}
+
+TEST(BenchCheck, DropWithinTolerancePasses) {
+  const BenchReport base = gate_report(40.0, 55.0, 1.0);
+  const BenchReport cur = gate_report(36.0, 50.0, 1.0);  // ~10% drops
+  EXPECT_TRUE(check_bench_regression(base, cur, 25.0).ok());
+}
+
+TEST(BenchCheck, SubFloorRowsNeverFlag) {
+  // The dense reference rows live near the noise floor; halving 1% of
+  // peak is scheduler jitter, not a regression.
+  const BenchReport base = gate_report(40.0, 55.0, 1.0);
+  const BenchReport cur = gate_report(40.0, 55.0, 0.4);
+  EXPECT_TRUE(check_bench_regression(base, cur, 25.0).ok());
+}
+
+TEST(BenchCheck, VanishedConfigurationFails) {
+  const BenchReport base = gate_report(40.0, 55.0, 1.0);
+  BenchReport cur = gate_report(40.0, 55.0, 1.0);
+  cur.rows.erase(cur.rows.begin());  // drop the double-buffer row
+  const BenchCheckResult r = check_bench_regression(base, cur, 25.0);
+  ASSERT_EQ(1u, r.regressions.size());
+  EXPECT_EQ("double-buffer 4194304", r.regressions[0].config);
+  EXPECT_LT(r.regressions[0].current_pct, 0.0);
+}
+
+TEST(BenchCheck, NewConfigurationsAreNotFlagged) {
+  BenchReport base = gate_report(40.0, 55.0, 1.0);
+  base.rows.pop_back();
+  base.rows.pop_back();  // baseline only knows the double-buffer row
+  const BenchReport cur = gate_report(40.0, 55.0, 1.0);
+  const BenchCheckResult r = check_bench_regression(base, cur, 25.0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(1, r.compared);
 }
 
 TEST(Json, RejectsMalformedDocuments) {

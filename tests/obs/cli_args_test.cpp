@@ -36,13 +36,16 @@ TEST(ParseInt, RejectsGarbageOverflowAndRange) {
   EXPECT_FALSE(parse_int("-4", 1, &v, &err));  // below min
 }
 
-TEST(ParseDims, AcceptsTwoAndThreeDimensions) {
+TEST(ParseDims, AcceptsOneToThreeDimensions) {
   std::vector<idx_t> dims;
   std::string err;
   ASSERT_TRUE(parse_dims("128x64", &dims, &err));
   EXPECT_EQ((std::vector<idx_t>{128, 64}), dims);
   ASSERT_TRUE(parse_dims("4x8x16", &dims, &err));
   EXPECT_EQ((std::vector<idx_t>{4, 8, 16}), dims);
+  // A single token is a huge-1D transform (docs/INTERNALS.md §15).
+  ASSERT_TRUE(parse_dims("4194304", &dims, &err));
+  EXPECT_EQ((std::vector<idx_t>{4194304}), dims);
 }
 
 TEST(ParseDims, RejectsMalformedSpecs) {
@@ -52,7 +55,6 @@ TEST(ParseDims, RejectsMalformedSpecs) {
   EXPECT_FALSE(parse_dims("0x0", &dims, &err));      // atoll -> 0: div by zero
   EXPECT_FALSE(parse_dims("x128", &dims, &err));     // empty first token -> 0
   EXPECT_FALSE(parse_dims("12ax34", &dims, &err));   // atoll -> 12 silently
-  EXPECT_FALSE(parse_dims("128", &dims, &err));      // 1 dim
   EXPECT_FALSE(parse_dims("2x2x2x2", &dims, &err));  // 4 dims
   EXPECT_FALSE(parse_dims("", &dims, &err));
   EXPECT_FALSE(parse_dims("128x", &dims, &err));     // trailing separator

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "common/error.h"
@@ -74,9 +75,27 @@ TEST(Candidates, PacketCandidatesDivideTheFastDimension) {
   }
 }
 
-TEST(Candidates, OnlyTwoAndThreeDimensionalShapes) {
-  EXPECT_THROW(enumerate_candidates({64}, auto_request()), Error);
+TEST(Candidates, OnlyOneToThreeDimensionalShapes) {
+  EXPECT_FALSE(enumerate_candidates({1 << 18}, auto_request()).empty());
   EXPECT_THROW(enumerate_candidates({4, 4, 4, 4}, auto_request()), Error);
+}
+
+TEST(Candidates, OneDimensionalGridCarriesFactorAxis) {
+  // The 1D grid swaps the packet axis for the n = n1*n2 factorization
+  // axis: every four-step candidate names a divisor of n and at least
+  // two distinct factorizations are offered for a pow2 size.
+  const idx_t n = 1 << 20;
+  const auto grid = enumerate_candidates({n}, auto_request());
+  std::set<idx_t> factors;
+  for (const TuneCandidate& c : grid) {
+    EXPECT_EQ(0, c.packet_elems) << candidate_label(c);
+    if (c.engine == EngineKind::DoubleBuffer) {
+      EXPECT_GT(c.factor_n1, 0) << candidate_label(c);
+      EXPECT_EQ(0, n % c.factor_n1) << candidate_label(c);
+      factors.insert(c.factor_n1);
+    }
+  }
+  EXPECT_GE(factors.size(), 2u);
 }
 
 TEST(Candidates, ApplyCandidateCopiesKnobs) {

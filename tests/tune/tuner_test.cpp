@@ -106,6 +106,32 @@ TEST_F(TunerTest, WisdomWarmedResolutionSkipsMeasurement) {
 #endif
 }
 
+TEST_F(TunerTest, OneDimensionalWisdomPreservesTheFactorization) {
+  // The 1D grid's tunable is the n = n1*n2 split. A Measure-level tune
+  // must land the winning factorization in wisdom, and the second
+  // resolution must replay it without re-measuring anything.
+  const std::vector<idx_t> dims{idx_t{1} << 16};
+  TuneReport first;
+  const FftOptions a = resolve_auto(
+      dims, Direction::Forward, auto_opts(TuneLevel::Measure), &first);
+  EXPECT_FALSE(first.from_wisdom);
+  EXPECT_GT(first.measured_count, 0);
+  if (first.chosen.engine == EngineKind::DoubleBuffer) {
+    EXPECT_GT(first.chosen.factor_n1, 0);
+    EXPECT_EQ(0, dims[0] % first.chosen.factor_n1);
+  }
+
+  TuneReport second;
+  const FftOptions b = resolve_auto(
+      dims, Direction::Forward, auto_opts(TuneLevel::Measure), &second);
+  EXPECT_TRUE(second.from_wisdom);
+  EXPECT_EQ(0, second.measured_count);
+  EXPECT_TRUE(same_config(first.chosen, second.chosen));
+  EXPECT_EQ(first.chosen.factor_n1, second.chosen.factor_n1);
+  EXPECT_EQ(a.engine, b.engine);
+  EXPECT_EQ(a.factor_n1, b.factor_n1);
+}
+
 TEST_F(TunerTest, ShallowWisdomDoesNotSatisfyDeeperRequests) {
   const std::vector<idx_t> dims{32, 32};
   resolve_auto(dims, Direction::Forward, auto_opts(TuneLevel::Estimate));

@@ -2,6 +2,7 @@
 //
 //   bench_report FILE...
 //   bench_report --trajectory FILE...
+//   bench_report --check BASELINE CURRENT [--tolerance PCT]
 //
 // Each file is parsed, checked against the bwfft-bench-v1 schema
 // (benchutil/bench_schema) and summarised as a table; any malformed file
@@ -9,11 +10,22 @@
 // gate for the committed trajectory.
 //
 // --trajectory pivots the files the other way: one row per (engine,
-// dims) configuration, one column per label (file order), cells showing
-// pct-of-peak — the whole performance trajectory of the repo at a
-// glance, and the quickest way to confirm a PR moved the rows it claims.
+// dims) configuration, one column per label, cells showing pct-of-peak —
+// the whole performance trajectory of the repo at a glance, and the
+// quickest way to confirm a PR moved the rows it claims. Files named
+// BENCH_PR<k>.json are ordered by the numeric <k> (PR10 after PR9, not
+// after PR1); other files keep their command-line position at the end.
+//
+// --check is the CI perf gate: every (engine, dims) row of BASELINE must
+// hold its pct-of-peak within the tolerance (default 25%, a relative
+// drop) in CURRENT, rows under the 2% noise floor excepted. Any
+// regression or vanished configuration exits non-zero with one line per
+// offender, so the quality job can fail a PR that slows an engine down.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,18 +67,38 @@ bool load_report(const char* path, BenchReport* out) {
   return true;
 }
 
-std::string row_key(const BenchRow& row) {
-  std::string key = row.engine;
-  key += " ";
-  for (std::size_t i = 0; i < row.dims.size(); ++i) {
-    key += (i ? "x" : "") + std::to_string(row.dims[i]);
+/// Numeric trajectory position of a path: the <k> of a BENCH_PR<k>.json
+/// basename, or -1 for anything else. Lexicographic shell globs hand us
+/// PR10 before PR2; the trajectory must read in PR order.
+int pr_number(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string prefix = "BENCH_PR";
+  if (base.rfind(prefix, 0) != 0) return -1;
+  std::size_t i = prefix.size(), digits = 0;
+  long value = 0;
+  while (i < base.size() &&
+         std::isdigit(static_cast<unsigned char>(base[i]))) {
+    value = value * 10 + (base[i] - '0');
+    ++i;
+    ++digits;
   }
-  return key;
+  if (digits == 0 || base.substr(i) != ".json") return -1;
+  return static_cast<int>(value);
 }
 
 /// --trajectory: aggregate every file into one config-by-label
-/// pct-of-peak table. Configs missing from a label print "-".
-bool report_trajectory(const std::vector<const char*>& paths) {
+/// pct-of-peak table, columns in PR-number order. Configs missing from a
+/// label print "-".
+bool report_trajectory(std::vector<const char*> paths) {
+  const auto order = [](const char* p) {
+    const int k = pr_number(p);
+    return k < 0 ? std::numeric_limits<int>::max() : k;  // others last
+  };
+  std::stable_sort(
+      paths.begin(), paths.end(),
+      [&](const char* a, const char* b) { return order(a) < order(b); });
   std::vector<BenchReport> reports;
   for (const char* path : paths) {
     BenchReport rep;
@@ -78,7 +110,7 @@ bool report_trajectory(const std::vector<const char*>& paths) {
   std::map<std::string, std::vector<double>> cells;  // key -> pct per label
   for (std::size_t r = 0; r < reports.size(); ++r) {
     for (const BenchRow& row : reports[r].rows) {
-      const std::string key = row_key(row);
+      const std::string key = bench_config_key(row);
       auto it = cells.find(key);
       if (it == cells.end()) {
         configs.push_back(key);
@@ -108,6 +140,44 @@ bool report_trajectory(const std::vector<const char*>& paths) {
     std::printf("stream: %s = %.1f GB/s\n", rep.label.c_str(),
                 rep.stream_gbs);
   }
+  return true;
+}
+
+/// --check: the perf-regression gate. Exit truth table: true only when
+/// every above-floor baseline config is present and within tolerance.
+bool report_check(const char* baseline_path, const char* current_path,
+                  double tolerance_pct) {
+  BenchReport baseline, current;
+  if (!load_report(baseline_path, &baseline) ||
+      !load_report(current_path, &current)) {
+    return false;
+  }
+  const BenchCheckResult result =
+      check_bench_regression(baseline, current, tolerance_pct);
+  std::printf(
+      "bench_report: check %s (label %s) vs %s (label %s), "
+      "tolerance %.0f%%\n",
+      current_path, current.label.c_str(), baseline_path,
+      baseline.label.c_str(), tolerance_pct);
+  std::printf(
+      "  %d configs compared, %d below the %.0f%% noise floor skipped\n",
+      result.compared, result.skipped, kBenchCheckFloorPct);
+  for (const BenchCheckIssue& issue : result.regressions) {
+    if (issue.current_pct < 0.0) {
+      std::printf("  REGRESSION %-28s baseline %5.1f%% -> missing\n",
+                  issue.config.c_str(), issue.baseline_pct);
+    } else {
+      std::printf("  REGRESSION %-28s baseline %5.1f%% -> %5.1f%% of peak\n",
+                  issue.config.c_str(), issue.baseline_pct,
+                  issue.current_pct);
+    }
+  }
+  if (!result.ok()) {
+    std::printf("bench_report: %zu regression(s) beyond tolerance\n",
+                result.regressions.size());
+    return false;
+  }
+  std::printf("bench_report: no regressions\n");
   return true;
 }
 
@@ -145,7 +215,10 @@ bool report_file(const char* path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s [--trajectory] FILE...\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s FILE... | --trajectory FILE... | "
+                 "--check BASELINE CURRENT [--tolerance PCT]\n",
+                 argv[0]);
     return 2;
   }
   if (std::string(argv[1]) == "--trajectory") {
@@ -155,6 +228,23 @@ int main(int argc, char** argv) {
     }
     std::vector<const char*> paths(argv + 2, argv + argc);
     return report_trajectory(paths) ? 0 : 1;
+  }
+  if (std::string(argv[1]) == "--check") {
+    double tolerance = 25.0;
+    if (argc == 6 && std::string(argv[4]) == "--tolerance") {
+      char* end = nullptr;
+      tolerance = std::strtod(argv[5], &end);
+      if (end == argv[5] || *end != '\0' || tolerance < 0.0) {
+        std::fprintf(stderr, "bench_report: bad tolerance '%s'\n", argv[5]);
+        return 2;
+      }
+    } else if (argc != 4) {
+      std::fprintf(stderr,
+                   "usage: %s --check BASELINE CURRENT [--tolerance PCT]\n",
+                   argv[0]);
+      return 2;
+    }
+    return report_check(argv[2], argv[3], tolerance) ? 0 : 1;
   }
   bool all_ok = true;
   for (int i = 1; i < argc; ++i) {

@@ -1,6 +1,7 @@
 // bwfft_cli — command-line driver for the library.
 //
-//   bwfft_cli --dims 128x128x128 [--engine dbuf|stagepar|slab|pencil]
+//   bwfft_cli --dims 128x128x128|512x512|4194304
+//             [--engine dbuf|stagepar|slab|pencil]
 //             [--threads P] [--compute PC] [--block ELEMS] [--reps R]
 //             [--inverse] [--verify] [--no-nt] [--mu MU] [--stats]
 //             [--trace out.json]
@@ -49,7 +50,7 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --dims KxNxM|NxM [--engine "
+               "usage: %s --dims KxNxM|NxM|N [--engine "
                "dbuf|stagepar|slab|pencil|reference|auto] [--threads P] "
                "[--compute PC] [--block ELEMS] [--mu MU] [--reps R] "
                "[--inverse] [--verify] [--no-nt] [--stats] [--verbose] "
@@ -222,6 +223,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   const EngineKind kind = engine_kind(a.engine);
+  if (a.dims.size() == 1 && kind == EngineKind::SlabPencil) {
+    std::fprintf(stderr, "--engine slab is a 3D decomposition; 1D sizes "
+                         "take dbuf|stagepar|pencil|reference|auto\n");
+    usage(argv[0]);
+  }
   idx_t total = 1;
   for (idx_t d : a.dims) total *= d;
 
@@ -267,9 +273,12 @@ int main(int argc, char** argv) {
               a.inverse ? "inverse" : "forward",
               a.threads > 0 ? a.threads : opts.topo.total_threads());
 
+  std::unique_ptr<MdEngine> plan1;  // huge-1D path (INTERNALS.md §15)
   std::unique_ptr<Fft2d> plan2;
   std::unique_ptr<Fft3d> plan3;
-  if (a.dims.size() == 2) {
+  if (a.dims.size() == 1) {
+    plan1 = make_engine(a.dims, dir, opts);
+  } else if (a.dims.size() == 2) {
     plan2 = std::make_unique<Fft2d>(a.dims[0], a.dims[1], dir, opts);
   } else {
     plan3 = std::make_unique<Fft3d>(a.dims[0], a.dims[1], a.dims[2], dir,
@@ -278,7 +287,9 @@ int main(int argc, char** argv) {
   if (kind == EngineKind::Auto) {
     std::printf("auto (%s): resolved to engine=%s\n",
                 tune_level_name(opts.tune_level),
-                plan2 ? plan2->engine_name() : plan3->engine_name());
+                plan1   ? plan1->name()
+                : plan2 ? plan2->engine_name()
+                        : plan3->engine_name());
   }
   if (!a.wisdom_path.empty()) {
     std::string werr;
@@ -294,6 +305,17 @@ int main(int argc, char** argv) {
   ExecReport rep;
   auto run_once = [&]() -> Status {
     std::copy(original.begin(), original.end(), in.begin());
+    if (plan1) {
+      // MdEngine has no recovery ladder yet; surface a thrown Error as
+      // the same typed Status the 2D/3D facades return.
+      try {
+        plan1->execute(in.data(), out.data());
+      } catch (const Error& e) {
+        return Status(e.code(), e.what());
+      }
+      rep.engine = plan1->name();
+      return Status::Ok();
+    }
     return plan2 ? plan2->try_execute(in.data(), out.data(), &rep)
                  : plan3->try_execute(in.data(), out.data(), &rep);
   };
@@ -366,7 +388,7 @@ int main(int argc, char** argv) {
           2.0 * static_cast<double>(total) * sizeof(cplx);
       const auto roof = obs::roofline_from_trace(slices, stage_bytes, bw);
       if (!roof.empty()) obs::print_roofline(roof, bw);
-      if (kind == EngineKind::DoubleBuffer) {
+      if (kind == EngineKind::DoubleBuffer && a.dims.size() >= 2) {
         DoubleBufferEngine eng(a.dims, dir, opts);
         std::copy(original.begin(), original.end(), in.begin());
         eng.execute(in.data(), out.data());
@@ -386,7 +408,9 @@ int main(int argc, char** argv) {
     if (total <= (1 << 18)) {
       // Dense-oracle check for small sizes.
       cvec ref_in = original;
-      if (a.dims.size() == 2) {
+      if (a.dims.size() == 1) {
+        reference_dft_1d(ref_in.data(), want.data(), a.dims[0], dir);
+      } else if (a.dims.size() == 2) {
         reference_dft_2d(ref_in.data(), want.data(), a.dims[0], a.dims[1],
                          dir);
       } else {
@@ -407,7 +431,9 @@ int main(int argc, char** argv) {
     iopts.normalize_inverse = true;
     const Direction idir = a.inverse ? Direction::Forward : Direction::Inverse;
     cvec back(original.size());
-    if (a.dims.size() == 2) {
+    if (a.dims.size() == 1) {
+      make_engine(a.dims, idir, iopts)->execute(out.data(), back.data());
+    } else if (a.dims.size() == 2) {
       Fft2d invp(a.dims[0], a.dims[1], idir, iopts);
       invp.execute(out.data(), back.data());
     } else {

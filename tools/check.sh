@@ -35,9 +35,13 @@
 # The quick configuration is the fast pre-push gate: an uninstrumented
 # RelWithDebInfo build running `ctest -L tier1`, then a bench smoke —
 # bench/run_all --smoke swept through tools/bench_report, which validates
-# the emitted BENCH json against the bwfft-bench-v1 schema — and a tune
-# smoke: bwfft_tune twice against a temp wisdom file, asserting the
-# second run is wisdom-warmed ("wisdom: hit").
+# the emitted BENCH json against the bwfft-bench-v1 schema, then gated
+# against bench/baselines/bench_smoke_baseline.json with
+# `bench_report --check` (any engine losing over 60% of its baseline
+# pct-of-peak fails the run) and pivoted with --trajectory across the
+# committed BENCH_PR*.json history — and a tune smoke: bwfft_tune twice
+# against a temp wisdom file, asserting the second run is wisdom-warmed
+# ("wisdom: hit").
 #
 # The faults configuration reuses the ASan+UBSan tree: first the targeted
 # `ctest -L fault` suite (spawn/stall injections live there — they need a
@@ -100,6 +104,17 @@ run_quick() {
   local smoke="$build/bench_smoke.json"
   "$build/bench/run_all" --smoke --label smoke --out "$smoke"
   "$build/tools/bench_report" "$smoke"
+  echo "=== [quick] bench regression gate ==="
+  # Generous tolerance: CI runners and laptops differ from the committed
+  # baseline's host by far more than a real in-tree regression would
+  # move a row, and pct-of-peak already folds out the bandwidth
+  # difference. The gate exists to catch an engine falling off a cliff
+  # (wrong path planned, vectorisation lost), not a 10% wobble.
+  "$build/tools/bench_report" --check \
+      "$ROOT/bench/baselines/bench_smoke_baseline.json" "$smoke" \
+      --tolerance 60
+  echo "=== [quick] perf trajectory ==="
+  "$build/tools/bench_report" --trajectory "$ROOT"/BENCH_PR*.json
   echo "=== [quick] tune smoke ==="
   local wisdom_dir
   wisdom_dir="$(mktemp -d)"
